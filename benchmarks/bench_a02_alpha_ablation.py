@@ -1,0 +1,25 @@
+"""A2 — ablating the rank-prefix exponent α (Section 3.2 fixes α = 3/4).
+
+Larger α means smaller rank steps: more prefix phases but smaller shipped
+subgraphs; smaller α compresses harder.  The paper's α = 3/4 balances the
+two — this sweep makes the trade-off visible.
+"""
+
+from repro.analysis.ablations import run_a02_alpha_ablation
+
+from conftest import report
+
+
+def test_a02_alpha_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_a02_alpha_ablation,
+        kwargs={"n": 2048, "alphas": (0.5, 0.75, 0.9)},
+        iterations=1,
+        rounds=1,
+    )
+    report("a02_alpha_ablation", "A2: rank-prefix exponent alpha", rows)
+    # More aggressive alpha never uses fewer phases.
+    phases = [row["prefix_phases"] for row in rows]
+    assert phases == sorted(phases)
+    # The MIS itself must be invariant in size-quality (same seed).
+    assert len({row["mis_size"] for row in rows}) <= 2

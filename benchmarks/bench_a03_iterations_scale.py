@@ -1,0 +1,25 @@
+"""A3 — ablating iterations-per-phase (the Lemma 4.8 schedule).
+
+More compressed iterations per phase mean fewer phases and rounds but
+longer periods in which the local estimates drift before the true weights
+are reconciled — the quality/rounds trade-off at the heart of the paper's
+round-compression argument.
+"""
+
+from repro.analysis.ablations import run_a03_iterations_scale_ablation
+
+from conftest import report
+
+
+def test_a03_iterations_scale(benchmark):
+    rows = benchmark.pedantic(
+        run_a03_iterations_scale_ablation,
+        kwargs={"n": 1024, "scales": (1.0, 2.0, 4.0)},
+        iterations=1,
+        rounds=1,
+    )
+    report("a03_iterations_scale", "A3: iterations per phase", rows)
+    phases = [row["phases"] for row in rows]
+    assert phases == sorted(phases, reverse=True)  # more I => fewer phases
+    for row in rows:
+        assert row["weight_ratio"] <= 2 + 50 * 0.1

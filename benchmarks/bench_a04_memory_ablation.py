@@ -1,0 +1,23 @@
+"""A4 — ablating machine memory: enforcement is real.
+
+Shrinks the word budget until the substrate refuses: Lemma 4.7 keeps
+per-machine loads far below O(n), so moderate budgets succeed, but
+sub-linear budgets hit MemoryExceededError — demonstrating that the
+memory accounting is enforcement, not decoration.
+"""
+
+from repro.analysis.ablations import run_a04_memory_ablation
+
+from conftest import report
+
+
+def test_a04_memory_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_a04_memory_ablation,
+        kwargs={"n": 512, "memory_factors": (8.0, 1.0, 0.5, 0.2)},
+        iterations=1,
+        rounds=1,
+    )
+    report("a04_memory_ablation", "A4: word-budget sweep", rows)
+    assert rows[0]["status"] == "ok"
+    assert any(row["status"].startswith("memory exceeded") for row in rows)

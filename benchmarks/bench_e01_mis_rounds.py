@@ -1,0 +1,25 @@
+"""E1 — MIS round complexity vs n (Theorem 1.1).
+
+Claim: the paper's MIS algorithm finishes in O(log log Δ) MPC rounds;
+Luby's classic algorithm needs Θ(log n).  The series below shows measured
+rounds for both across a size sweep; the reproducible *shape* is that the
+paper's column stays nearly flat while Luby's tracks log n.
+"""
+
+from repro.analysis.experiments import run_e01_mis_rounds
+
+from conftest import report
+
+
+def test_e01_mis_rounds(benchmark):
+    rows = benchmark.pedantic(
+        run_e01_mis_rounds,
+        kwargs={"sizes": (256, 512, 1024, 2048, 4096), "avg_degree": 192.0},
+        iterations=1,
+        rounds=1,
+    )
+    report("e01_mis_rounds", "E1: MIS rounds vs n (paper vs Luby)", rows)
+    assert all(row["paper_rounds"] > 0 for row in rows)
+    # Shape check: across a 16x size sweep, the paper's rounds move by at
+    # most a small additive constant (doubly-logarithmic growth).
+    assert rows[-1]["paper_rounds"] - rows[0]["paper_rounds"] <= 4

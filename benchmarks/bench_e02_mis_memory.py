@@ -1,0 +1,21 @@
+"""E2 — per-machine memory during MIS (Lemma 3.1 / Eq. (1)).
+
+Claim: every rank-prefix subgraph shipped to a single machine has O(n)
+edges w.h.p.  The series reports the largest shipment normalized by n; the
+shape to observe is a bounded (in fact, small) constant across the sweep.
+"""
+
+from repro.analysis.experiments import run_e02_mis_memory
+
+from conftest import report
+
+
+def test_e02_mis_memory(benchmark):
+    rows = benchmark.pedantic(
+        run_e02_mis_memory,
+        kwargs={"sizes": (256, 512, 1024, 2048, 4096), "avg_degree": 192.0},
+        iterations=1,
+        rounds=1,
+    )
+    report("e02_mis_memory", "E2: max edges shipped per machine / n", rows)
+    assert all(row["shipped_over_n"] <= 4.0 for row in rows)

@@ -1,0 +1,24 @@
+"""E3 — Central's iteration count and approximation quality (Lemma 4.1).
+
+Claims: Central terminates within O(log n / ε) iterations; its fractional
+matching is within (2+5ε) of the maximum matching and its frozen-vertex
+cover within (2+5ε) of the minimum vertex cover.
+"""
+
+from repro.analysis.experiments import run_e03_central
+
+from conftest import report
+
+
+def test_e03_central(benchmark):
+    rows = benchmark.pedantic(
+        run_e03_central,
+        kwargs={"sizes": (128, 256, 512), "epsilons": (0.05, 0.1, 0.2)},
+        iterations=1,
+        rounds=1,
+    )
+    report("e03_central", "E3: Central iterations and quality", rows)
+    for row in rows:
+        eps = row["epsilon"]
+        assert row["iterations"] <= 2 * row["log_n_over_eps"] + 10
+        assert row["matching_ratio"] <= 2 + 5 * eps + 1e-9

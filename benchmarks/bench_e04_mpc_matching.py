@@ -1,0 +1,23 @@
+"""E4 — MPC-Simulation phases, rounds, and quality (Lemma 4.2).
+
+Claims: O(log log n) phases; fractional matching within (2+50ε) of the
+maximum matching; frozen cover within the same factor of the optimum.
+"""
+
+from repro.analysis.experiments import run_e04_mpc_matching
+
+from conftest import report
+
+
+def test_e04_mpc_matching(benchmark):
+    rows = benchmark.pedantic(
+        run_e04_mpc_matching,
+        kwargs={"sizes": (256, 512, 1024, 2048), "epsilon": 0.1},
+        iterations=1,
+        rounds=1,
+    )
+    report("e04_mpc_matching", "E4: MPC-Simulation schedule and quality", rows)
+    for row in rows:
+        assert row["weight_ratio"] <= 2 + 50 * 0.1
+    # Phase count moves at most +2 across an 8x sweep.
+    assert rows[-1]["phases"] - rows[0]["phases"] <= 2

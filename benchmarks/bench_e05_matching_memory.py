@@ -1,0 +1,20 @@
+"""E5 — per-machine induced subgraph size during matching (Lemma 4.7).
+
+Claim: the induced subgraph each machine receives per phase has O(n)
+edges w.h.p.; we report the max over phases normalized by n.
+"""
+
+from repro.analysis.experiments import run_e05_matching_memory
+
+from conftest import report
+
+
+def test_e05_matching_memory(benchmark):
+    rows = benchmark.pedantic(
+        run_e05_matching_memory,
+        kwargs={"sizes": (256, 512, 1024, 2048), "epsilon": 0.1},
+        iterations=1,
+        rounds=1,
+    )
+    report("e05_matching_memory", "E5: max per-machine edges / n", rows)
+    assert all(row["machine_edges_over_n"] <= 4.0 for row in rows)

@@ -1,0 +1,22 @@
+"""E7 — integral (2+ε) matching and vertex cover (Theorem 1.2).
+
+Claims: the iterated rounding pipeline yields a matching within (2+ε) of
+optimum and a vertex cover within (2+O(ε)) of optimum, in O(log log n)
+rounds per pass.
+"""
+
+from repro.analysis.experiments import run_e07_integral
+
+from conftest import report
+
+
+def test_e07_integral(benchmark):
+    rows = benchmark.pedantic(
+        run_e07_integral,
+        kwargs={"sizes": (256, 512, 1024), "epsilons": (0.1,)},
+        iterations=1,
+        rounds=1,
+    )
+    report("e07_integral", "E7: integral matching + cover (Thm 1.2)", rows)
+    for row in rows:
+        assert row["ratio"] <= row["guarantee"]

@@ -1,0 +1,25 @@
+"""E8 — (1+ε) matching via short augmenting paths (Corollary 1.3).
+
+Claim: eliminating augmenting paths of length <= 2*ceil(1/ε)-1 on top of
+the Theorem 1.2 matching yields a (1+ε) approximation; tighter ε costs
+more sweeps (the (1/ε)^O(1/ε) round shape).
+"""
+
+from repro.analysis.experiments import run_e08_one_plus_eps
+
+from conftest import report
+
+
+def test_e08_one_plus_eps(benchmark):
+    rows = benchmark.pedantic(
+        run_e08_one_plus_eps,
+        kwargs={"n": 512, "epsilons": (0.5, 0.34, 0.2)},
+        iterations=1,
+        rounds=1,
+    )
+    report("e08_one_plus_eps", "E8: (1+eps) matching quality vs eps", rows)
+    for row in rows:
+        assert row["ratio"] <= row["guarantee"] + 0.1
+    # Tighter epsilon never yields a smaller matching.
+    sizes = [row["matching"] for row in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,22 @@
+"""E9 — (2+ε) weighted matching via weight classes (Corollary 1.4).
+
+Claim: the LPSR-style weight-class reduction yields a constant-factor
+weighted matching; on tiny instances it is checked against brute force.
+"""
+
+from repro.analysis.experiments import run_e09_weighted
+
+from conftest import report
+
+
+def test_e09_weighted(benchmark):
+    rows = benchmark.pedantic(
+        run_e09_weighted,
+        kwargs={"sizes": (12, 128, 256, 512)},
+        iterations=1,
+        rounds=1,
+    )
+    report("e09_weighted", "E9: weighted matching (Cor 1.4)", rows)
+    for row in rows:
+        if "ratio" in row:
+            assert row["ratio"] <= 2.5

@@ -1,0 +1,26 @@
+"""E10 — head-to-head comparison table (Section 1.2 related work).
+
+One fixed workload; every algorithm in the library reports measured rounds
+and output quality.  Absolute round counts at simulable sizes favor the
+baselines' small constants; the asymptotic separation is the subject of E1
+and E4 (growth shapes), and this table records the honest snapshot.
+"""
+
+from repro.analysis.experiments import run_e10_baselines
+
+from conftest import report
+
+
+def test_e10_baselines(benchmark):
+    rows = benchmark.pedantic(
+        run_e10_baselines,
+        kwargs={"n": 1024, "avg_degree": 16.0},
+        iterations=1,
+        rounds=1,
+    )
+    report("e10_baselines", "E10: algorithms head to head (n=1024)", rows)
+    assert len(rows) == 6
+    # All matching algorithms must land within their guarantees (<= 2.1x).
+    for row in rows:
+        if row["quality"].startswith("ratio"):
+            assert float(row["quality"].split()[1]) <= 2.1

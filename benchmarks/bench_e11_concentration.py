@@ -1,0 +1,24 @@
+"""E11 — coupled-process concentration (Lemmas 4.11-4.15).
+
+Claim: running MPC-Simulation and Central-Rand with shared thresholds,
+the fraction of *bad* vertices (diverging freeze decisions) stays small
+and the two fractional matchings agree closely.
+"""
+
+from repro.analysis.experiments import run_e11_concentration
+
+from conftest import report
+
+
+def test_e11_concentration(benchmark):
+    rows = benchmark.pedantic(
+        run_e11_concentration,
+        kwargs={"sizes": (256, 512, 1024), "epsilon": 0.1},
+        iterations=1,
+        rounds=1,
+    )
+    report("e11_concentration", "E11: coupled-process divergence", rows)
+    for row in rows:
+        assert row["bad_fraction"] < 0.5
+        ratio = row["mpc_weight"] / row["central_weight"]
+        assert 0.5 <= ratio <= 2.0

@@ -1,0 +1,22 @@
+"""E12 — CONGESTED-CLIQUE MIS (Theorem 1.1, CC half; Lenzen routing).
+
+Claims: O(log log Δ) CONGESTED-CLIQUE rounds; per-phase routed volume to
+the leader is O(n) messages (Lemma 3.1), satisfying Lenzen's precondition
+with a constant number of invocations.
+"""
+
+from repro.analysis.experiments import run_e12_congested_clique
+
+from conftest import report
+
+
+def test_e12_congested_clique(benchmark):
+    rows = benchmark.pedantic(
+        run_e12_congested_clique,
+        kwargs={"sizes": (256, 512, 1024, 2048), "avg_degree": 192.0},
+        iterations=1,
+        rounds=1,
+    )
+    report("e12_congested_clique", "E12: CONGESTED-CLIQUE MIS", rows)
+    assert all(row["routed_over_n"] <= 4.0 for row in rows)
+    assert rows[-1]["rounds"] - rows[0]["rounds"] <= 6

@@ -1,0 +1,26 @@
+"""E13 — residual degree decay of randomized greedy (Lemma 3.1).
+
+Claim (via [ACG+15]): after the randomized greedy MIS process consumes
+ranks 1..r, the residual graph's max degree is O(n log n / r) w.h.p.  The
+series reports the measured decay against the proof's explicit
+20·n·ln(n)/r bound; the measured/bound column should stay far below 1 and
+roughly constant (the 1/r shape).
+"""
+
+from repro.analysis.experiments import run_e13_residual_degree
+
+from conftest import report
+
+
+def test_e13_residual_degree(benchmark):
+    rows = benchmark.pedantic(
+        run_e13_residual_degree,
+        kwargs={"n": 2048, "avg_degree": 256.0},
+        iterations=1,
+        rounds=1,
+    )
+    report("e13_residual_degree", "E13: residual max degree vs rank", rows)
+    for row in rows:
+        assert row["measured_over_bound"] <= 1.0
+    degrees = [row["residual_max_degree"] for row in rows]
+    assert degrees == sorted(degrees, reverse=True)

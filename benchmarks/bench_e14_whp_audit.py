@@ -1,0 +1,23 @@
+"""E14 — empirical audit of the paper's w.h.p. claims.
+
+The paper proves its invariants hold with high probability; we measure
+failure rates over independent seeds (graph + algorithm randomness both
+fresh per trial).  The reproducible expectation: zero failures at these
+sizes and trial counts.
+"""
+
+from repro.analysis.whp_audit import run_e14_whp_audit
+
+from conftest import report
+
+
+def test_e14_whp_audit(benchmark):
+    rows = benchmark.pedantic(
+        run_e14_whp_audit,
+        kwargs={"n": 192, "trials": 20},
+        iterations=1,
+        rounds=1,
+    )
+    report("e14_whp_audit", "E14: w.h.p. claim audit (20 seeds)", rows)
+    for row in rows:
+        assert row["failures"] == 0, f"{row['claim']} failed: {row}"

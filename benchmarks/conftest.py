@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it runs
+the corresponding ``run_eXX`` harness function under ``pytest-benchmark``
+timing, prints the result table, and persists it under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.analysis.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, rows: List[Dict[str, Any]]) -> None:
+    """Print a table and persist it to ``benchmarks/results/<name>.txt``."""
+    table = format_table(rows, title=title)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")

@@ -1,0 +1,48 @@
+"""Marketplace trade matching via weighted matching (Corollary 1.4).
+
+Scenario: a trading marketplace where an edge between two parties carries
+the value of their potential trade, and each party can close at most one
+trade.  Values are heavy-tailed (a few whale trades dominate), which is
+precisely where unweighted matching fails: maximizing the *number* of
+trades can forfeit almost all the *value*.
+
+Run:  python examples/marketplace_weighted_matching.py
+"""
+
+from repro import mpc_maximum_matching, mpc_weighted_matching
+from repro.graph.generators import random_weighted_graph
+from repro.graph.properties import is_matching
+
+
+def main() -> None:
+    market = random_weighted_graph(
+        600, 0.02, max_weight=1_000_000.0, distribution="zipf", seed=47
+    )
+    print(
+        f"Marketplace: {market.num_vertices} parties, "
+        f"{market.num_edges} potential trades, "
+        f"top trade value ${market.max_weight():,.0f}"
+    )
+
+    weighted = mpc_weighted_matching(market, epsilon=0.1, seed=47)
+    assert is_matching(market.structure, weighted.matching)
+    print(
+        f"\nWeight-aware (Cor 1.4):  {len(weighted.matching):4d} trades, "
+        f"total value ${weighted.weight:,.0f} "
+        f"({weighted.classes} weight classes, {weighted.rounds} rounds)"
+    )
+
+    unweighted = mpc_maximum_matching(market.structure, seed=47)
+    value = market.matching_weight(unweighted.matching)
+    print(
+        f"Weight-blind (Thm 1.2):  {len(unweighted.matching):4d} trades, "
+        f"total value ${value:,.0f}"
+    )
+    print(
+        f"\nValue captured by weight-aware matching: "
+        f"{weighted.weight / max(value, 1):.1f}x the weight-blind result"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Monitoring-station placement via vertex cover.
+
+Scenario: a communication network where every link must be observed by a
+monitoring station placed at one of its endpoints.  Minimum vertex cover
+is NP-hard; the paper's MPC-Simulation yields a (2+ε) approximation in
+O(log log n) rounds, and its fractional relaxation comes with a matching
+lower-bound certificate (LP duality) — so the gap to optimal is *provable*
+per instance, not just asymptotic.
+
+Run:  python examples/sensor_cover.py
+"""
+
+from repro import MatchingConfig, gnp_random_graph, mpc_vertex_cover
+from repro.core.matching_mpc import mpc_fractional_matching
+from repro.graph.generators import grid_graph
+from repro.graph.properties import is_vertex_cover
+
+
+def analyze(name: str, graph) -> None:
+    config = MatchingConfig(epsilon=0.1)
+    cover = mpc_vertex_cover(graph, config=config, seed=31)
+    fractional = mpc_fractional_matching(graph, config=config, seed=31)
+    assert is_vertex_cover(graph, cover.cover)
+    # LP duality: any fractional matching's weight lower-bounds any cover.
+    lower_bound = fractional.weight
+    print(
+        f"{name:>24}: {cover.size:5d} stations cover "
+        f"{graph.num_edges:6d} links in {cover.rounds} rounds; "
+        f"certified within {cover.size / lower_bound:.2f}x of optimal"
+    )
+
+
+def main() -> None:
+    print("Monitoring-station placement ((2+eps) vertex cover, Thm 1.2):\n")
+    analyze("mesh backbone (grid)", grid_graph(25, 40))
+    analyze("random network", gnp_random_graph(1500, 0.004, seed=31))
+    analyze("dense datacenter", gnp_random_graph(400, 0.08, seed=31))
+
+
+if __name__ == "__main__":
+    main()

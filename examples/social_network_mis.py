@@ -1,0 +1,51 @@
+"""Committee selection on a social network via MIS.
+
+Scenario: pick a set of "spokespeople" from a social network such that no
+two chosen people know each other (an independent set), and everyone not
+chosen knows at least one spokesperson (maximality).  Social networks have
+power-law degree distributions — exactly the heterogeneous-degree regime
+where the paper's O(log log Δ) algorithm shines over per-round approaches.
+
+Run:  python examples/social_network_mis.py
+"""
+
+from repro import barabasi_albert, mis_mpc
+from repro.baselines.luby import luby_mis
+from repro.graph.properties import is_maximal_independent_set
+
+
+def main() -> None:
+    # Preferential-attachment network: a few celebrity hubs, many leaves.
+    network = barabasi_albert(5000, 3, seed=13)
+    degrees = sorted(network.degrees(), reverse=True)
+    print(
+        f"Social network: {network.num_vertices} members, "
+        f"{network.num_edges} friendships"
+    )
+    print(f"Top-5 hub degrees: {degrees[:5]} (median {degrees[len(degrees)//2]})")
+
+    result = mis_mpc(network, seed=13)
+    assert is_maximal_independent_set(network, result.mis)
+    print(
+        f"\nPaper's algorithm: {len(result.mis)} spokespeople "
+        f"in {result.rounds} MPC rounds "
+        f"({result.prefix_phases} prefix phases, "
+        f"{result.luby_rounds_simulated} compressed Luby rounds)"
+    )
+
+    baseline = luby_mis(network, seed=13)
+    print(
+        f"Luby baseline:     {len(baseline.mis)} spokespeople "
+        f"in {baseline.rounds} rounds (every Luby step costs a full round)"
+    )
+
+    hubs = [v for v in result.mis if network.degree(v) > 50]
+    print(f"\nSpokespeople that are hubs (degree > 50): {len(hubs)}")
+    print(
+        "Every member either is a spokesperson or is friends with one "
+        "(maximality verified)."
+    )
+
+
+if __name__ == "__main__":
+    main()

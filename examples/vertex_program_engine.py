@@ -1,0 +1,71 @@
+"""Writing your own distributed algorithm on the vertex-program engine.
+
+The library's MPC substrate exposes a Pregel-style API: write a per-vertex
+``compute`` function, and the engine runs it in bulk-synchronous
+supersteps with real round counting and per-machine message-volume
+enforcement.  This example implements distributed BFS from scratch in a
+dozen lines and then runs the bundled Luby-MIS and matching programs.
+
+Run:  python examples/vertex_program_engine.py
+"""
+
+from repro.graph.generators import gnp_random_graph
+from repro.graph.properties import is_maximal_independent_set, is_maximal_matching
+from repro.mpc.engine import PregelEngine
+from repro.mpc.programs import luby_vertex_program, matching_vertex_program
+
+
+def distributed_bfs(graph, source: int):
+    """Breadth-first distances via message waves; one level per superstep."""
+
+    def initial_state(vertex):
+        return {"distance": 0 if vertex == source else None}
+
+    def compute(ctx, messages):
+        if ctx.superstep == 0 and ctx.vertex == source:
+            ctx.send_to_neighbors(("dist", 1))
+            ctx.vote_to_halt()
+            return
+        if ctx.state["distance"] is None:
+            distances = [d for _, d in messages]
+            if distances:
+                ctx.state["distance"] = min(distances)
+                ctx.send_to_neighbors(("dist", ctx.state["distance"] + 1))
+        ctx.vote_to_halt()
+
+    engine = PregelEngine(graph, seed=1)
+    result = engine.run(compute, initial_state=initial_state)
+    return result
+
+
+def main() -> None:
+    graph = gnp_random_graph(2000, 0.004, seed=11)
+    print(f"Graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    bfs = distributed_bfs(graph, source=0)
+    reached = sum(
+        1 for state in bfs.states.values() if state["distance"] is not None
+    )
+    print(
+        f"Distributed BFS:   reached {reached} vertices in "
+        f"{bfs.supersteps} supersteps "
+        f"(max machine message load {bfs.max_machine_message_words} words)"
+    )
+
+    mis = luby_vertex_program(graph, seed=11)
+    assert is_maximal_independent_set(graph, mis.mis)
+    print(
+        f"Luby vertex program:     MIS of {len(mis.mis)} in "
+        f"{mis.supersteps} supersteps ({mis.rounds} MPC rounds)"
+    )
+
+    matching = matching_vertex_program(graph, seed=11)
+    assert is_maximal_matching(graph, matching.matching)
+    print(
+        f"Matching vertex program: {len(matching.matching)} edges in "
+        f"{matching.supersteps} supersteps ({matching.rounds} MPC rounds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for legacy editable installs (offline environments)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Improved Massively Parallel Computation Algorithms "
+        "for MIS, Matching, and Vertex Cover' (Ghaffari et al., PODC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,82 @@
+"""repro — reproduction of "Improved Massively Parallel Computation
+Algorithms for MIS, Matching, and Vertex Cover" (Ghaffari, Gouleakis,
+Konrad, Mitrović, Rubinfeld; PODC 2018, arXiv:1802.08237).
+
+Public API highlights
+---------------------
+Graphs::
+
+    from repro import Graph, gnp_random_graph
+
+Theorem 1.1 — MIS in O(log log Δ) MPC / CONGESTED-CLIQUE rounds::
+
+    from repro import mis_mpc, congested_clique_mis
+
+Lemma 4.2 / Theorem 1.2 — matching and vertex cover::
+
+    from repro import mpc_fractional_matching, mpc_maximum_matching, mpc_vertex_cover
+
+Corollaries 1.3 / 1.4::
+
+    from repro import one_plus_eps_matching, mpc_weighted_matching
+"""
+
+from repro.graph import (
+    Graph,
+    WeightedGraph,
+    barabasi_albert,
+    gnp_random_graph,
+    random_bipartite_graph,
+)
+from repro.core import (
+    MISConfig,
+    MatchingConfig,
+    MISResult,
+    mis_mpc,
+    randomized_greedy_mis,
+    CentralResult,
+    central_fractional_matching,
+    FractionalMatching,
+    MatchingMPCResult,
+    mpc_fractional_matching,
+    round_fractional_matching,
+    IntegralMatchingResult,
+    mpc_maximum_matching,
+    VertexCoverResult,
+    mpc_vertex_cover,
+    one_plus_eps_matching,
+    WeightedMatchingResult,
+    mpc_weighted_matching,
+)
+from repro.congested_clique import CCMISResult, congested_clique_mis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "barabasi_albert",
+    "gnp_random_graph",
+    "random_bipartite_graph",
+    "MISConfig",
+    "MatchingConfig",
+    "MISResult",
+    "mis_mpc",
+    "randomized_greedy_mis",
+    "CentralResult",
+    "central_fractional_matching",
+    "FractionalMatching",
+    "MatchingMPCResult",
+    "mpc_fractional_matching",
+    "round_fractional_matching",
+    "IntegralMatchingResult",
+    "mpc_maximum_matching",
+    "VertexCoverResult",
+    "mpc_vertex_cover",
+    "one_plus_eps_matching",
+    "WeightedMatchingResult",
+    "mpc_weighted_matching",
+    "CCMISResult",
+    "congested_clique_mis",
+    "__version__",
+]

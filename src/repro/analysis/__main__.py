@@ -1,0 +1,65 @@
+"""Command-line experiment harness.
+
+Regenerate any experiment table from the shell::
+
+    python -m repro.analysis e01        # one experiment
+    python -m repro.analysis a01        # one ablation
+    python -m repro.analysis all        # every experiment (minutes)
+    python -m repro.analysis --list     # show what exists
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis import ablations, experiments
+from repro.analysis.tables import format_table
+from repro.analysis.whp_audit import run_e14_whp_audit
+
+_REGISTRY: Dict[str, Callable[[], List[dict]]] = {
+    "e01": experiments.run_e01_mis_rounds,
+    "e02": experiments.run_e02_mis_memory,
+    "e03": experiments.run_e03_central,
+    "e04": experiments.run_e04_mpc_matching,
+    "e05": experiments.run_e05_matching_memory,
+    "e06": experiments.run_e06_rounding,
+    "e07": experiments.run_e07_integral,
+    "e08": experiments.run_e08_one_plus_eps,
+    "e09": experiments.run_e09_weighted,
+    "e10": experiments.run_e10_baselines,
+    "e11": experiments.run_e11_concentration,
+    "e12": experiments.run_e12_congested_clique,
+    "e13": experiments.run_e13_residual_degree,
+    "e14": run_e14_whp_audit,
+    "a01": ablations.run_a01_threshold_ablation,
+    "a02": ablations.run_a02_alpha_ablation,
+    "a03": ablations.run_a03_iterations_scale_ablation,
+    "a04": ablations.run_a04_memory_ablation,
+    "a05": ablations.run_a05_sparse_strategy,
+}
+
+
+def main(argv: List[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv[0] == "--list":
+        for name, fn in _REGISTRY.items():
+            first_line = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}  {first_line}")
+        return 0
+    targets = list(_REGISTRY) if argv[0] == "all" else argv
+    for target in targets:
+        fn = _REGISTRY.get(target)
+        if fn is None:
+            print(f"unknown experiment {target!r}; try --list", file=sys.stderr)
+            return 2
+        rows = fn()
+        print(format_table(rows, title=f"[{target}] {fn.__name__}"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

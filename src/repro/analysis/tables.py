@@ -1,0 +1,34 @@
+"""Plain-text table rendering for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table (column order = first row).
+
+    Floats render with 3 decimals; everything else via ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in rendered
+    )
+    table = f"{header}\n{separator}\n{body}"
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,49 @@
+"""Sequential greedy baselines for MIS and maximal matching."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.utils.rng import SeedLike, make_rng
+
+
+def greedy_mis_sequential(graph: Graph, seed: SeedLike = None) -> Set[int]:
+    """Greedy MIS over a random vertex order (one-liner reference)."""
+    rng = make_rng(seed)
+    order = list(graph.vertices())
+    rng.shuffle(order)
+    mis: Set[int] = set()
+    blocked: Set[int] = set()
+    for v in order:
+        if v in blocked:
+            continue
+        mis.add(v)
+        blocked.add(v)
+        blocked.update(graph.neighbors_view(v))
+    return mis
+
+
+def greedy_maximal_matching(
+    graph: Graph, order: Optional[Sequence[Edge]] = None, seed: SeedLike = None
+) -> Set[Edge]:
+    """Greedy maximal matching over an edge order (random by default).
+
+    A maximal matching is a 2-approximate maximum matching and its endpoint
+    set is a 2-approximate vertex cover — the folklore bounds every
+    baseline comparison in the paper starts from.
+    """
+    if order is None:
+        edges = graph.edge_list()
+        make_rng(seed).shuffle(edges)
+    else:
+        edges = [canonical_edge(u, v) for u, v in order]
+    matched: Set[int] = set()
+    matching: Set[Edge] = set()
+    for u, v in edges:
+        if u in matched or v in matched:
+            continue
+        matching.add((u, v))
+        matched.add(u)
+        matched.add(v)
+    return matching

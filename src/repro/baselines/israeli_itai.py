@@ -1,0 +1,79 @@
+"""Israeli–Itai randomized maximal matching [II86] — O(log n) rounds.
+
+Classic two-step round: every unmatched vertex proposes along a random
+incident live edge; mutual/colliding proposals are resolved by random edge
+priorities, the locally-minimal proposed edges join the matching, and
+matched vertices leave.  Terminates when no live edge remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.trace import Trace, maybe_record
+
+
+@dataclass
+class IsraeliItaiResult:
+    """Outcome of the Israeli–Itai algorithm."""
+
+    matching: Set[Edge]
+    rounds: int
+
+
+def israeli_itai_matching(
+    graph: Graph,
+    seed: SeedLike = None,
+    trace: Optional[Trace] = None,
+    max_rounds: Optional[int] = None,
+) -> IsraeliItaiResult:
+    """Run the Israeli–Itai process to a maximal matching."""
+    rng = make_rng(seed)
+    residual = graph.copy()
+    matching: Set[Edge] = set()
+    rounds = 0
+    cap = max_rounds if max_rounds is not None else 64 * (graph.num_vertices + 2)
+
+    while residual.num_edges > 0:
+        if rounds >= cap:
+            raise RuntimeError("Israeli-Itai exceeded its round cap")
+        rounds += 1
+        # Step 1: every vertex with live edges proposes along a random one.
+        proposals: Set[Edge] = set()
+        for v in residual.vertices():
+            neighbors = residual.neighbors_view(v)
+            if neighbors:
+                u = rng.choice(sorted(neighbors))
+                proposals.add(canonical_edge(v, u))
+        # Step 2: proposed edges draw random priorities; an edge wins when
+        # it beats every adjacent proposed edge.
+        priority: Dict[Edge, float] = {e: rng.random() for e in proposals}
+        winners: Set[Edge] = set()
+        for edge in proposals:
+            u, v = edge
+            beaten = False
+            for w in (u, v):
+                for x in residual.neighbors_view(w):
+                    other = canonical_edge(w, x)
+                    if other != edge and other in priority and priority[other] < priority[edge]:
+                        beaten = True
+                        break
+                if beaten:
+                    break
+            if not beaten:
+                winners.add(edge)
+        for u, v in winners:
+            if residual.degree(u) == 0 and residual.degree(v) == 0:
+                continue  # a prior winner this round already cleared them
+            if not residual.has_edge(u, v):
+                continue
+            matching.add((u, v))
+            residual.isolate(u)
+            residual.isolate(v)
+        maybe_record(
+            trace, "israeli_itai_round", round=rounds, live_edges=residual.num_edges
+        )
+    return IsraeliItaiResult(matching=matching, rounds=rounds)

@@ -1,0 +1,60 @@
+"""Lenzen's deterministic routing scheme [Len13].
+
+The paper uses it as a black box (Section 2, "Routing"): if every player
+wants to send at most ``n`` messages and every player is the destination of
+at most ``n`` messages, all of them can be delivered in ``O(1)`` rounds.
+We model the scheme by validating the precondition exactly and charging a
+fixed constant (2) of rounds; violating the precondition raises, because an
+algorithm relying on super-linear routing volume is *not* implementable in
+O(1) CONGESTED-CLIQUE rounds and the substrate must not silently pretend
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.congested_clique.model import CongestedClique
+from repro.mpc.errors import ProtocolError
+
+LENZEN_ROUND_COST = 2
+
+
+def lenzen_route(
+    clique: CongestedClique,
+    messages: Iterable[Tuple[int, int, object]],
+    context: str = "lenzen-routing",
+) -> Dict[int, List[object]]:
+    """Route ``(sender, receiver, payload)`` messages in O(1) rounds.
+
+    Each payload is one ``O(log n)``-bit message (e.g. one edge).  Validates
+    Lenzen's precondition — per-player send and receive volume at most
+    ``n`` — charges :data:`LENZEN_ROUND_COST` rounds, and returns the
+    per-receiver inboxes.
+    """
+    n = clique.num_players
+    send_load: Dict[int, int] = {}
+    receive_load: Dict[int, int] = {}
+    inboxes: Dict[int, List[object]] = {}
+    for sender, receiver, payload in messages:
+        if not 0 <= sender < n or not 0 <= receiver < n:
+            raise ProtocolError(
+                f"message endpoints ({sender}, {receiver}) out of range during {context}"
+            )
+        send_load[sender] = send_load.get(sender, 0) + 1
+        receive_load[receiver] = receive_load.get(receiver, 0) + 1
+        inboxes.setdefault(receiver, []).append(payload)
+    for player, load in send_load.items():
+        if load > n:
+            raise ProtocolError(
+                f"player {player} sends {load} > n={n} messages; "
+                f"Lenzen's precondition violated during {context}"
+            )
+    for player, load in receive_load.items():
+        if load > n:
+            raise ProtocolError(
+                f"player {player} receives {load} > n={n} messages; "
+                f"Lenzen's precondition violated during {context}"
+            )
+    clique.charge_rounds(LENZEN_ROUND_COST, context)
+    return inboxes

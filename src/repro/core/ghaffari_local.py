@@ -1,0 +1,93 @@
+"""Ghaffari's LOCAL MIS process [Gha16] — the desire-level dynamics.
+
+The CONGESTED-CLIQUE algorithm of [Gha17] that Theorem 2.1 cites is a
+round-compressed simulation of this LOCAL process.  Each vertex ``v``
+maintains a *desire level* ``p_v`` (initially 1/2).  Per round:
+
+1. ``v`` marks itself with probability ``p_v``;
+2. a marked vertex with no marked neighbor joins the MIS; its closed
+   neighborhood leaves the graph;
+3. ``v`` recomputes its *effective degree* ``d_v = Σ_{u ∈ N(v)} p_u`` and
+   updates: ``p_v ← p_v / 2`` if ``d_v ≥ 2``, else ``p_v ← min(2·p_v, 1/2)``.
+
+[Gha16] proves each vertex is decided within ``O(log Δ + log 1/δ)``
+rounds with probability ``1 - δ``.  The per-vertex outcome after ``R``
+rounds is a function of the radius-``R`` ball and the shared randomness,
+so the same graph-exponentiation charging as the compressed Luby process
+applies (``ceil(log2 R) + 1`` compressed rounds).
+
+:func:`repro.core.sparsified_mis.sparsified_mis` accepts
+``strategy="ghaffari"`` to use this process for the polylog-degree finish
+instead of Luby's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.graph.graph import Graph
+
+INITIAL_DESIRE = 0.5
+DESIRE_CAP = 0.5
+EFFECTIVE_DEGREE_THRESHOLD = 2.0
+
+
+def ghaffari_round(
+    residual: Graph,
+    active: Set[int],
+    desire: Dict[int, float],
+    rng,
+) -> Set[int]:
+    """One round of the desire-level process.
+
+    Marks vertices, returns the set joining the MIS this round, and
+    updates ``desire`` in place.  The caller removes closed neighborhoods
+    of the winners and shrinks ``active``.
+    """
+    marked = {v for v in active if rng.random() < desire[v]}
+    winners: Set[int] = set()
+    for v in marked:
+        if not any(u in marked for u in residual.neighbors_view(v) if u in active):
+            winners.add(v)
+
+    # Effective degrees are computed against the pre-removal graph, as in
+    # the LOCAL process (updates and removals are simultaneous per round).
+    effective: Dict[int, float] = {}
+    for v in active:
+        effective[v] = sum(
+            desire[u] for u in residual.neighbors_view(v) if u in active
+        )
+    for v in active:
+        if effective[v] >= EFFECTIVE_DEGREE_THRESHOLD:
+            desire[v] = desire[v] / 2.0
+        else:
+            desire[v] = min(2.0 * desire[v], DESIRE_CAP)
+    return winners
+
+
+def run_ghaffari_process(
+    residual: Graph,
+    active: Set[int],
+    rng,
+    rounds: int,
+) -> Tuple[Set[int], int]:
+    """Run up to ``rounds`` rounds; returns (MIS vertices found, rounds run).
+
+    Mutates ``residual`` (winners' closed neighborhoods removed) and
+    ``active``.
+    """
+    desire: Dict[int, float] = {v: INITIAL_DESIRE for v in active}
+    mis: Set[int] = set()
+    executed = 0
+    for _ in range(rounds):
+        if not active:
+            break
+        winners = ghaffari_round(residual, active, desire, rng)
+        executed += 1
+        for v in winners:
+            if v not in active:
+                continue
+            mis.add(v)
+            removed = residual.remove_closed_neighborhood(v)
+            active -= removed
+    return mis, executed

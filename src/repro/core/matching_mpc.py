@@ -1,0 +1,425 @@
+"""MPC-Simulation — fractional matching and vertex cover in O(log log n)
+MPC rounds (Section 4.3, Lemma 4.2).
+
+The algorithm simulates Central-Rand in phases.  While the degree bound
+``d`` exceeds a polylog floor, one phase:
+
+* partitions the still-relevant vertices ``V'`` over ``m = √d`` machines
+  (vertex-based sampling of [CŁM+18], Line (d));
+* has each machine run ``I = Θ(log m)`` iterations of Central-Rand on its
+  *induced local subgraph*, estimating each vertex's load as
+  ``y~_v = m · (local active weight) + y_old_v`` and freezing vertices whose
+  estimate crosses their random threshold ``T_{v,t}`` (Lines (e));
+* recomputes true weights from freeze times (Line (g) — possible because
+  every active edge grows by the same factor per iteration, so
+  ``x_e = w_0 / (1-ε)^{t'}`` with ``t'`` the first endpoint-freeze time);
+* removes vertices whose true load exceeded 1 (they join the cover;
+  Line (i)) and freezes those in ``[1-2ε, 1]`` (Line (j));
+* updates ``d ← d(1-ε)^I`` (Line (f)).
+
+Once ``d`` reaches the floor the remaining iterations of Central-Rand are
+simulated directly, one round each (Line (4)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MatchingConfig
+from repro.core.fractional import FractionalMatching
+from repro.core.thresholds import ThresholdOracle
+from repro.graph.graph import Edge, Graph
+from repro.mpc.cluster import Message, MPCCluster
+from repro.mpc.words import WORDS_PER_FLOAT, edge_words, id_words
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.trace import Trace, maybe_record
+
+# Cap on the phase count, far above the O(log log n) bound; converts a
+# schedule bug into an exception instead of a hang.
+_MAX_PHASES = 300
+
+
+@dataclass
+class MatchingMPCResult:
+    """Outcome of MPC-Simulation.
+
+    Attributes
+    ----------
+    matching:
+        Fractional matching on the surviving vertex set ``V'`` together
+        with the vertex cover (frozen plus heavy-removed vertices).
+    rounds / phases / iterations:
+        Measured MPC rounds, phase count, and total Central-Rand iterations
+        simulated (compressed + direct).
+    freeze_iteration:
+        Per-vertex global iteration at which the vertex froze.
+    heavy_removed:
+        Vertices removed at Line (i) (load exceeded 1); they are in the
+        cover but their edges are excluded from the fractional matching.
+    max_machine_edges:
+        Largest per-machine induced subgraph over all phases (Lemma 4.7's
+        ``O(n)`` quantity).
+    """
+
+    matching: FractionalMatching
+    rounds: int
+    phases: int
+    iterations: int
+    freeze_iteration: Dict[int, int] = field(default_factory=dict)
+    heavy_removed: Set[int] = field(default_factory=set)
+    max_machine_edges: int = 0
+    machine_edges_per_phase: List[int] = field(default_factory=list)
+    direct_iterations: int = 0
+
+    @property
+    def vertex_cover(self) -> Set[int]:
+        """The reported vertex cover."""
+        return self.matching.vertex_cover
+
+    @property
+    def weight(self) -> float:
+        """Total fractional weight."""
+        return self.matching.weight()
+
+    def rounding_candidates(self, epsilon: float) -> Set[int]:
+        """The high-load cover subset ``C~`` fed to Lemma 5.1 rounding."""
+        return self.matching.heavy_vertices(1.0 - 5.0 * epsilon)
+
+
+def mpc_fractional_matching(
+    graph: Graph,
+    config: Optional[MatchingConfig] = None,
+    seed: SeedLike = None,
+    oracle: Optional[ThresholdOracle] = None,
+    trace: Optional[Trace] = None,
+) -> MatchingMPCResult:
+    """Run MPC-Simulation on ``graph``.
+
+    Parameters
+    ----------
+    config:
+        Schedule constants; see :class:`repro.core.config.MatchingConfig`.
+    oracle:
+        Threshold oracle override — pass the same instance to
+        :func:`repro.core.central.run_freezing_process` to couple the two
+        processes (used by the Lemma 4.15 concentration experiment).
+    """
+    config = config or MatchingConfig()
+    epsilon = config.epsilon
+    rng = make_rng(seed)
+    n = graph.num_vertices
+
+    if n == 0 or graph.num_edges == 0:
+        empty = FractionalMatching(graph=graph, weights={}, vertex_cover=set())
+        return MatchingMPCResult(
+            matching=empty, rounds=0, phases=0, iterations=0
+        )
+
+    if oracle is None:
+        oracle = ThresholdOracle(
+            config.threshold_low, config.threshold_high, seed=rng.getrandbits(64)
+        )
+    growth = 1.0 / (1.0 - epsilon)
+    w0 = (1.0 - 2.0 * epsilon) / n
+
+    words_per_machine = max(int(config.memory_factor * n), 64)
+    cluster = MPCCluster(
+        max(2, int(math.isqrt(n)) + 1), words_per_machine, trace=trace
+    )
+
+    surviving: Set[int] = set(range(n))  # the paper's V'
+    freeze_iteration: Dict[int, int] = {}
+    heavy_removed: Set[int] = set()
+    d = float(n)
+    t = 0
+    phases = 0
+    floor = config.degree_floor(n)
+    machine_edges_per_phase: List[int] = []
+
+    def edge_weight(u: int, v: int, now: int) -> float:
+        """Current weight of edge ``{u, v}`` per Line (g)."""
+        t_prime = min(
+            freeze_iteration.get(u, now), freeze_iteration.get(v, now), now
+        )
+        return w0 * growth**t_prime
+
+    def vertex_loads(now: int) -> Dict[int, float]:
+        """True loads ``y^MPC`` over ``G[V']`` at iteration ``now``."""
+        loads = {v: 0.0 for v in surviving}
+        for u, v in graph.edges():
+            if u in surviving and v in surviving:
+                x = edge_weight(u, v, now)
+                loads[u] += x
+                loads[v] += x
+        return loads
+
+    while d > floor:
+        if phases >= _MAX_PHASES:
+            raise RuntimeError("MPC-Simulation exceeded the phase cap")
+        active = [
+            v for v in surviving if v not in freeze_iteration
+        ]
+        active_set = set(active)
+        # Active subgraph G' and the per-vertex frozen load y_old (Line (b)).
+        y_old: Dict[int, float] = {v: 0.0 for v in surviving}
+        active_adj: Dict[int, Set[int]] = {v: set() for v in active}
+        for u, v in graph.edges():
+            if u not in surviving or v not in surviving:
+                continue
+            if u in active_set and v in active_set:
+                active_adj[u].add(v)
+                active_adj[v].add(u)
+            else:
+                x = edge_weight(u, v, t)
+                y_old[u] += x
+                y_old[v] += x
+
+        num_machines = max(2, int(math.sqrt(d)))
+        iterations = config.iterations_per_phase(num_machines)
+
+        # Line (d): i.i.d. random vertex partitioning; one exchange ships
+        # each induced subgraph (memory validated by the substrate).
+        owner = {v: rng.randrange(num_machines) for v in active}
+        parts: List[List[int]] = [[] for _ in range(num_machines)]
+        for v in active:
+            parts[owner[v]].append(v)
+        local_edge_counts = _ship_partitions(
+            cluster, active_adj, parts, owner, phases
+        )
+        machine_edges_per_phase.append(max(local_edge_counts, default=0))
+
+        # Lines (e): every machine simulates I iterations locally.
+        for part in parts:
+            _simulate_machine(
+                part=part,
+                owner=owner,
+                active_adj=active_adj,
+                y_old=y_old,
+                oracle=oracle,
+                freeze_iteration=freeze_iteration,
+                start_iteration=t,
+                iterations=iterations,
+                num_machines=num_machines,
+                w0=w0,
+                growth=growth,
+            )
+        t += iterations
+        d *= (1.0 - epsilon) ** iterations
+        phases += 1
+
+        # One broadcast distributes freeze times (Line (g) inputs), one
+        # aggregation round recomputes loads and applies Lines (h)-(j).
+        cluster.broadcast(id_words(n), context=f"matching: phase {phases} freezes")
+        cluster.charge_rounds(1, f"matching: phase {phases} load aggregation")
+
+        loads = vertex_loads(t)
+        over_one = {v for v, load in loads.items() if load > 1.0}
+        for v in over_one:
+            surviving.discard(v)
+            heavy_removed.add(v)
+        if over_one:
+            loads = vertex_loads(t)
+        for v, load in loads.items():
+            if v in freeze_iteration or v not in surviving:
+                continue
+            if load >= 1.0 - 2.0 * epsilon:
+                freeze_iteration[v] = t
+        maybe_record(
+            trace,
+            "matching_phase",
+            phase=phases,
+            iterations=iterations,
+            degree_bound=d,
+            machines=num_machines,
+            max_machine_edges=max(local_edge_counts, default=0),
+            frozen=len(freeze_iteration),
+            heavy_removed=len(heavy_removed),
+        )
+
+    # Line (4): direct simulation of the remaining Central-Rand iterations.
+    t_before_direct = t
+    t = _direct_simulation(
+        graph=graph,
+        surviving=surviving,
+        freeze_iteration=freeze_iteration,
+        oracle=oracle,
+        cluster=cluster,
+        start_iteration=t,
+        w0=w0,
+        growth=growth,
+        epsilon=epsilon,
+        max_iterations=config.max_direct_iterations,
+        vertex_loads=vertex_loads,
+    )
+
+    weights: Dict[Edge, float] = {}
+    for u, v in graph.edges():
+        if u in surviving and v in surviving:
+            weights[(u, v)] = edge_weight(u, v, t)
+    cover = set(freeze_iteration) | heavy_removed
+    matching = FractionalMatching(graph=graph, weights=weights, vertex_cover=cover)
+    return MatchingMPCResult(
+        matching=matching,
+        rounds=cluster.rounds,
+        phases=phases,
+        iterations=t,
+        freeze_iteration=dict(freeze_iteration),
+        heavy_removed=heavy_removed,
+        max_machine_edges=max(machine_edges_per_phase, default=0),
+        machine_edges_per_phase=machine_edges_per_phase,
+        direct_iterations=t - t_before_direct,
+    )
+
+
+def _ship_partitions(
+    cluster: MPCCluster,
+    active_adj: Dict[int, Set[int]],
+    parts: List[List[int]],
+    owner: Dict[int, int],
+    phase: int,
+) -> List[int]:
+    """Deliver each machine its induced active subgraph (one exchange).
+
+    Machine ``i`` receives (and, in the shuffle, forwards) part ``i``'s
+    induced edges; the substrate validates both directions against the word
+    budget — this is exactly the quantity Lemma 4.7 bounds by ``O(n)``.
+    """
+    local_edge_counts: List[int] = []
+    outboxes: Dict[int, List[Message]] = {}
+    for index, part in enumerate(parts):
+        count = 0
+        for v in part:
+            for u in active_adj[v]:
+                if u > v and owner[u] == index:
+                    count += 1
+        local_edge_counts.append(count)
+        destination = index % cluster.num_machines
+        outboxes.setdefault(destination, []).append(
+            Message(destination=destination, words=edge_words(count), payload=None)
+        )
+    cluster.exchange(outboxes, context=f"matching: phase {phase + 1} scatter")
+    return local_edge_counts
+
+
+def _simulate_machine(
+    part: List[int],
+    owner: Dict[int, int],
+    active_adj: Dict[int, Set[int]],
+    y_old: Dict[int, float],
+    oracle: ThresholdOracle,
+    freeze_iteration: Dict[int, int],
+    start_iteration: int,
+    iterations: int,
+    num_machines: int,
+    w0: float,
+    growth: float,
+) -> None:
+    """Run ``iterations`` local Central-Rand steps on one machine's part.
+
+    Mutates ``freeze_iteration`` with the vertices this machine froze.
+    """
+    machine_index = owner[part[0]] if part else -1
+    local_adj: Dict[int, Set[int]] = {}
+    for v in part:
+        local_adj[v] = {
+            u for u in active_adj[v] if owner.get(u) == machine_index
+        }
+    locally_active = set(part)
+    for step in range(iterations):
+        now = start_iteration + step
+        w_t = w0 * growth**now
+        to_freeze = []
+        for v in locally_active:
+            estimate = num_machines * len(local_adj[v]) * w_t + y_old[v]
+            if estimate >= oracle.threshold(v, now):
+                to_freeze.append(v)
+        for v in to_freeze:
+            freeze_iteration[v] = now
+            locally_active.discard(v)
+            for u in local_adj[v]:
+                local_adj[u].discard(v)
+            local_adj[v] = set()
+
+
+def _direct_simulation(
+    graph: Graph,
+    surviving: Set[int],
+    freeze_iteration: Dict[int, int],
+    oracle: ThresholdOracle,
+    cluster: MPCCluster,
+    start_iteration: int,
+    w0: float,
+    growth: float,
+    epsilon: float,
+    max_iterations: int,
+    vertex_loads,
+) -> int:
+    """Line (4): simulate Central-Rand directly, one MPC round per iteration.
+
+    Returns the final global iteration counter.
+    """
+    t = start_iteration
+    active = {
+        v
+        for v in surviving
+        if v not in freeze_iteration
+        and any(
+            u in surviving and u not in freeze_iteration
+            for u in graph.neighbors_view(v)
+        )
+    }
+    active_degree = {
+        v: sum(
+            1
+            for u in graph.neighbors_view(v)
+            if u in active
+        )
+        for v in active
+    }
+    frozen_load = {}
+    loads = vertex_loads(t)
+    for v in active:
+        frozen_load[v] = loads[v] - active_degree[v] * w0 * growth**t
+
+    steps = 0
+    while active:
+        if steps >= max_iterations:
+            raise RuntimeError(
+                "direct Central-Rand simulation exceeded its iteration cap"
+            )
+        w_t = w0 * growth**t
+        to_freeze = [
+            v
+            for v in active
+            if frozen_load[v] + active_degree[v] * w_t
+            >= oracle.threshold(v, t)
+        ]
+        newly = set(to_freeze)
+        for v in to_freeze:
+            freeze_iteration[v] = t
+            active.discard(v)
+        for v in to_freeze:
+            for u in graph.neighbors_view(v):
+                if u not in surviving:
+                    continue
+                if u in newly:
+                    if u < v:
+                        continue
+                    frozen_load[v] += w_t
+                    frozen_load[u] += w_t
+                    active_degree[v] -= 1
+                    active_degree[u] -= 1
+                elif u in active:
+                    frozen_load[u] += w_t
+                    active_degree[u] -= 1
+                    frozen_load[v] += w_t
+                    active_degree[v] -= 1
+        for v in list(active):
+            if active_degree[v] == 0:
+                active.discard(v)
+        t += 1
+        steps += 1
+        cluster.charge_rounds(1, "matching: direct Central-Rand iteration")
+    return t

@@ -1,0 +1,114 @@
+"""Randomized rounding of fractional matchings — Lemma 5.1.
+
+Given a fractional matching ``x`` and a set ``C~`` of vertices whose load
+is at least ``1 - β`` (``β ≤ 1/2``), the rounding procedure:
+
+* every vertex ``v ∈ C~`` independently draws ``X_v``: neighbor ``u`` with
+  probability ``x_{uv} / 10``, or the null symbol with the remaining
+  probability (≥ 9/10);
+* the proposed edges ``H = {{v, X_v}}`` are collected, and an edge is
+  *good* when no other edge of ``H`` touches it;
+* the good edges — a matching by construction — are the output.
+
+The paper proves via McDiarmid's inequality that the output has size at
+least ``|C~| / 50`` with probability ``1 - 2 exp(-|C~|/5000)``; in practice
+the constant is far better (the E6 experiment measures it).  Every vertex
+decides from its own neighborhood only, so the procedure is a single MPC
+round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require
+
+# The paper's dampening constant: proposals fire with probability x_e / 10.
+PROPOSAL_DAMPENING = 10.0
+
+
+@dataclass(frozen=True)
+class RoundingOutcome:
+    """Result of one rounding pass."""
+
+    matching: Set[Edge]
+    proposals: int
+    collisions: int
+
+
+def round_fractional_matching(
+    graph: Graph,
+    weights: Mapping[Edge, float],
+    candidates: Iterable[int],
+    seed: SeedLike = None,
+) -> Set[Edge]:
+    """Round ``weights`` to an integral matching (Lemma 5.1).
+
+    ``candidates`` is the high-load set ``C~``; only its members propose.
+    Returns the set of good edges — always a valid matching.
+    """
+    return round_fractional_matching_detailed(graph, weights, candidates, seed).matching
+
+
+def round_fractional_matching_detailed(
+    graph: Graph,
+    weights: Mapping[Edge, float],
+    candidates: Iterable[int],
+    seed: SeedLike = None,
+) -> RoundingOutcome:
+    """As :func:`round_fractional_matching` but with process statistics."""
+    rng = make_rng(seed)
+    candidate_list = sorted(set(candidates))
+    incident: Dict[int, List[Tuple[int, float]]] = {v: [] for v in candidate_list}
+    candidate_set = set(candidate_list)
+    for (u, v), x in weights.items():
+        if x <= 0.0:
+            continue
+        if u in candidate_set:
+            incident[u].append((v, x))
+        if v in candidate_set:
+            incident[v].append((u, x))
+
+    proposed: Set[Edge] = set()
+    touch_count: Dict[int, int] = {}
+    for v in candidate_list:
+        choice = _draw_proposal(incident[v], rng)
+        if choice is None:
+            continue
+        edge = canonical_edge(v, choice)
+        if edge in proposed:
+            continue  # u and v proposed the same edge; count it once
+        proposed.add(edge)
+        for endpoint in edge:
+            touch_count[endpoint] = touch_count.get(endpoint, 0) + 1
+
+    good: Set[Edge] = {
+        edge
+        for edge in proposed
+        if touch_count[edge[0]] == 1 and touch_count[edge[1]] == 1
+    }
+    return RoundingOutcome(
+        matching=good,
+        proposals=len(proposed),
+        collisions=len(proposed) - len(good),
+    )
+
+
+def _draw_proposal(
+    incident: List[Tuple[int, float]], rng
+) -> Optional[int]:
+    """Sample ``X_v``: neighbor ``u`` w.p. ``x_{uv}/10``, else ``None``.
+
+    The incident weights sum to at most 1, so the null probability is at
+    least ``1 - 1/10``.
+    """
+    roll = rng.random()
+    cumulative = 0.0
+    for u, x in incident:
+        cumulative += x / PROPOSAL_DAMPENING
+        if roll < cumulative:
+            return u
+    return None

@@ -1,0 +1,171 @@
+"""Sparsified MIS finish for polylog-degree graphs.
+
+Stands in for Theorem 2.1 ([Gha17]) exactly where the paper uses it: once
+the rank-prefix phases have driven the maximum degree below polylog, finish
+the MIS in ``O(log log Δ')`` rounds.
+
+Our substitute (DESIGN.md §5, substitution 1) is a *round-compressed Luby
+process*: the per-vertex outcome of ``R`` rounds of Luby's algorithm is a
+deterministic function of the radius-``R`` ball around the vertex and the
+shared randomness, so a cluster that gathers balls by doubling simulates
+all ``R`` rounds in ``ceil(log2 R) + 1`` MPC/CONGESTED-CLIQUE rounds.  With
+``Δ' ≤ polylog n`` we take ``R = Θ(log m)``, i.e. ``O(log log n)``
+compressed rounds; the leftover graph is then small enough to ship to a
+single machine (validated against the word budget) and finished greedily.
+
+We execute the Luby process centrally — the outputs are identical to the
+ball-local simulation because the randomness is shared — and charge rounds
+by the exponentiation schedule.  :func:`luby_round` is also reused by the
+:mod:`repro.baselines.luby` baseline, which charges one round per Luby step
+instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.mpc.ball import ball_gather_rounds
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.words import edge_words
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.trace import Trace, maybe_record
+
+
+def luby_round(residual: Graph, active: Set[int], rng) -> Set[int]:
+    """One round of Luby's algorithm; returns the vertices joining the MIS.
+
+    Every active vertex draws a uniform value; a vertex joins when its value
+    beats every active neighbor's (ties broken by vertex id, which occurs
+    with probability zero in theory and negligibly here).  The caller
+    removes the closed neighborhoods of the winners.
+    """
+    draws = {v: (rng.random(), v) for v in active}
+    winners: Set[int] = set()
+    for v in active:
+        value = draws[v]
+        beaten = False
+        for u in residual.neighbors_view(v):
+            if u in active and draws[u] < value:
+                beaten = True
+                break
+        if not beaten:
+            winners.add(v)
+    return winners
+
+
+@dataclass(frozen=True)
+class SparsifiedMISOutcome:
+    """Result of the sparsified finish."""
+
+    mis: Set[int]
+    rounds_charged: int
+    luby_rounds_simulated: int
+    leftover_edges: int
+
+
+def sparsified_mis(
+    graph: Graph,
+    active: Optional[Set[int]] = None,
+    seed: SeedLike = None,
+    cluster: Optional[MPCCluster] = None,
+    rounds_factor: float = 2.0,
+    trace: Optional[Trace] = None,
+    strategy: str = "luby",
+) -> SparsifiedMISOutcome:
+    """Compute an MIS of ``graph`` restricted to ``active`` vertices.
+
+    Parameters
+    ----------
+    graph:
+        The residual graph (vertices outside ``active`` are ignored and
+        must be isolated from it for maximality semantics to make sense).
+    active:
+        Vertices still undecided; defaults to all non-isolated vertices
+        plus isolated ones (isolated vertices always join the MIS).
+    cluster:
+        If given, rounds are charged to it and the leftover-graph shipment
+        is memory-validated against its word budget.
+    rounds_factor:
+        Simulate ``ceil(rounds_factor * log2(m + 2))`` LOCAL rounds before
+        the leader finish.
+    strategy:
+        ``"luby"`` (default) runs Luby's process; ``"ghaffari"`` runs the
+        desire-level process of [Gha16] (see
+        :mod:`repro.core.ghaffari_local`).  Both have ball-local outputs,
+        so the exponentiation charging is identical.
+    """
+    if strategy not in ("luby", "ghaffari"):
+        raise ValueError(f"unknown sparsified-MIS strategy {strategy!r}")
+    rng = make_rng(seed)
+    residual = graph.copy()
+    if active is None:
+        active = set(graph.vertices())
+    else:
+        active = set(active)
+    mis: Set[int] = set()
+
+    num_edges = sum(1 for u, v in residual.edges() if u in active and v in active)
+    local_rounds = max(1, math.ceil(rounds_factor * math.log2(num_edges + 2)))
+    rounds_charged = ball_gather_rounds(local_rounds)
+    if cluster is not None:
+        cluster.charge_rounds(rounds_charged, "sparsified-mis: ball gathering")
+
+    simulated = 0
+    if strategy == "ghaffari":
+        from repro.core.ghaffari_local import run_ghaffari_process
+
+        found, simulated = run_ghaffari_process(
+            residual, active, rng, rounds=local_rounds
+        )
+        mis |= found
+    else:
+        for _ in range(local_rounds):
+            if not active:
+                break
+            winners = luby_round(residual, active, rng)
+            simulated += 1
+            for v in winners:
+                if v not in active:
+                    continue  # removed as an earlier winner's neighbor this round
+                mis.add(v)
+                removed = residual.remove_closed_neighborhood(v)
+                active -= removed
+
+    leftover_edges = residual.induced_edges(active)
+    if cluster is not None:
+        cluster.ship_to_machine(
+            0,
+            "sparsified_leftover",
+            leftover_edges,
+            edge_words(len(leftover_edges)),
+            context="sparsified-mis: leftover to leader",
+        )
+        rounds_charged += 1
+        cluster.charge_rounds(1, "sparsified-mis: broadcast result")
+        rounds_charged += 1
+
+    # Leader finish: greedy over the leftover, then isolated actives join.
+    leftover_order = sorted(active)
+    chosen_local: Set[int] = set()
+    for v in leftover_order:
+        if any(u in chosen_local for u in residual.neighbors_view(v)):
+            continue
+        chosen_local.add(v)
+    mis |= chosen_local
+
+    maybe_record(
+        trace,
+        "sparsified_mis",
+        luby_rounds=simulated,
+        rounds_charged=rounds_charged,
+        leftover_edges=len(leftover_edges),
+    )
+    return SparsifiedMISOutcome(
+        mis=mis,
+        rounds_charged=rounds_charged,
+        luby_rounds_simulated=simulated,
+        leftover_edges=len(leftover_edges),
+    )

@@ -1,0 +1,46 @@
+"""Per-vertex, per-iteration random freezing thresholds.
+
+Central-Rand (Section 4.3) replaces Central's fixed freezing threshold
+``1 - 2ε`` with a fresh uniform draw ``T_{v,t} ∈ [1-4ε, 1-2ε]`` per vertex
+and iteration.  The point of the construction (Lemma 4.11) is that the MPC
+simulation and the centralized reference consume *the same* thresholds, so
+the two processes can be coupled; :class:`ThresholdOracle` makes the
+threshold a pure function of ``(seed, v, t)`` to realize that coupling
+exactly.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import RngStream, SeedLike
+from repro.utils.validation import require
+
+
+class ThresholdOracle:
+    """Deterministic oracle for the thresholds ``T_{v,t}``."""
+
+    def __init__(self, low: float, high: float, seed: SeedLike = None) -> None:
+        require(low <= high, f"threshold interval empty: [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._stream = RngStream(seed, namespace="central-rand-thresholds")
+
+    @property
+    def low(self) -> float:
+        """Interval lower end (``1 - 4ε``)."""
+        return self._low
+
+    @property
+    def high(self) -> float:
+        """Interval upper end (``1 - 2ε``)."""
+        return self._high
+
+    def threshold(self, vertex: int, iteration: int) -> float:
+        """The threshold ``T_{v,t}`` — identical for every caller."""
+        if self._low == self._high:
+            return self._low
+        return self._stream.uniform(self._low, self._high, vertex, iteration)
+
+
+def fixed_oracle(value: float) -> ThresholdOracle:
+    """An oracle that always returns ``value`` (plain Central)."""
+    return ThresholdOracle(value, value, seed=0)

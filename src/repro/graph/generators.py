@@ -1,0 +1,235 @@
+"""Synthetic graph generators used by tests, examples, and benchmarks.
+
+The paper's algorithms are evaluated on families that stress different
+regimes: dense Erdős–Rényi graphs (large Δ, exercising the rank-prefix
+compression), power-law graphs (heterogeneous degrees, the "social network"
+workload the MPC literature motivates), bipartite graphs (matching
+workloads), and structured families (paths, grids, stars) whose optima are
+known in closed form — those anchor the approximation-ratio experiments.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.graph.graph import Graph, canonical_edge
+from repro.graph.weighted import WeightedGraph
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require, require_probability
+
+
+def gnp_random_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)``: each pair is an edge independently w.p. ``p``.
+
+    Uses the geometric skipping method (Batagelj–Brandes), so generation is
+    ``O(n + m)`` rather than ``O(n^2)`` — benchmarks sweep to ``n = 2^14``.
+    """
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require_probability(p, "p")
+    graph = Graph(n)
+    if p == 0.0 or n < 2:
+        return graph
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    rng = make_rng(seed)
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Uniform random graph with exactly ``m`` distinct edges."""
+    require(n >= 0, f"n must be >= 0, got {n}")
+    max_edges = n * (n - 1) // 2
+    require(0 <= m <= max_edges, f"m must be in [0, {max_edges}], got {m}")
+    rng = make_rng(seed)
+    graph = Graph(n)
+    if m > max_edges // 2:
+        # Dense: sample the complement instead.
+        all_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = rng.sample(all_edges, m)
+        for u, v in chosen:
+            graph.add_edge(u, v)
+        return graph
+    seen = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = canonical_edge(u, v)
+        if edge not in seen:
+            seen.add(edge)
+            graph.add_edge(*edge)
+    return graph
+
+
+def barabasi_albert(n: int, attachment: int, seed: SeedLike = None) -> Graph:
+    """Preferential-attachment (power-law) graph.
+
+    Starts from a clique on ``attachment + 1`` vertices; each new vertex
+    attaches to ``attachment`` distinct existing vertices chosen with
+    probability proportional to degree (implemented with the repeated-
+    endpoint trick: sampling a uniform element of the edge-endpoint list is
+    degree-proportional sampling).
+    """
+    require(attachment >= 1, f"attachment must be >= 1, got {attachment}")
+    require(
+        n > attachment,
+        f"n must exceed attachment ({attachment}), got {n}",
+    )
+    rng = make_rng(seed)
+    graph = Graph(n)
+    endpoint_pool: List[int] = []
+    seed_size = attachment + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            graph.add_edge(u, v)
+            endpoint_pool.extend((u, v))
+    for v in range(seed_size, n):
+        targets = set()
+        while len(targets) < attachment:
+            targets.add(rng.choice(endpoint_pool))
+        for u in targets:
+            graph.add_edge(u, v)
+            endpoint_pool.extend((u, v))
+    return graph
+
+
+def random_bipartite_graph(
+    left: int, right: int, p: float, seed: SeedLike = None
+) -> Graph:
+    """Bipartite ``G(left + right, p)``: sides ``0..left-1`` and ``left..``."""
+    require(left >= 0 and right >= 0, "side sizes must be >= 0")
+    require_probability(p, "p")
+    rng = make_rng(seed)
+    graph = Graph(left + right)
+    for u in range(left):
+        for v in range(left, left + right):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def planted_matching_graph(
+    pairs: int, noise_edges: int, seed: SeedLike = None
+) -> Tuple[Graph, List[Tuple[int, int]]]:
+    """A graph with a planted perfect matching plus random noise edges.
+
+    Returns ``(graph, planted)`` where ``planted`` is a perfect matching of
+    size ``pairs`` — a known lower bound on the maximum matching, used to
+    check approximation factors on sizes too large for exact solvers.
+    """
+    require(pairs >= 1, f"pairs must be >= 1, got {pairs}")
+    rng = make_rng(seed)
+    n = 2 * pairs
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    planted = [
+        canonical_edge(vertices[2 * i], vertices[2 * i + 1]) for i in range(pairs)
+    ]
+    graph = Graph(n, planted)
+    added = 0
+    while added < noise_edges:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph, sorted(planted)
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - n-1``."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` vertices."""
+    require(n >= 3, f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: center ``0`` joined to ``leaves`` leaf vertices."""
+    require(leaves >= 0, f"leaves must be >= 0, got {leaves}")
+    return Graph(leaves + 1, ((0, i) for i in range(1, leaves + 1)))
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    return Graph(n, ((u, v) for u in range(n) for v in range(u + 1, n)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid graph."""
+    require(rows >= 1 and cols >= 1, "grid dimensions must be >= 1")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar tree: a path spine with pendant legs.
+
+    Maximum matching and minimum vertex cover are easy to reason about on
+    caterpillars, making them good approximation-ratio fixtures.
+    """
+    require(spine >= 1, f"spine must be >= 1, got {spine}")
+    require(legs_per_vertex >= 0, "legs_per_vertex must be >= 0")
+    n = spine + spine * legs_per_vertex
+    graph = Graph(n)
+    for i in range(spine - 1):
+        graph.add_edge(i, i + 1)
+    next_leaf = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            graph.add_edge(i, next_leaf)
+            next_leaf += 1
+    return graph
+
+
+def random_weighted_graph(
+    n: int,
+    p: float,
+    max_weight: float = 100.0,
+    distribution: str = "uniform",
+    seed: SeedLike = None,
+) -> WeightedGraph:
+    """A ``G(n, p)`` graph with random positive edge weights.
+
+    ``distribution`` is ``"uniform"`` (weights in ``(0, max_weight]``) or
+    ``"zipf"`` (heavy-tailed, weight ``max_weight / rank``) — the latter
+    models marketplace-style valuations where a few edges dominate, the
+    regime where weight-oblivious matching fails badly.
+    """
+    require(distribution in ("uniform", "zipf"), "unknown weight distribution")
+    structure = gnp_random_graph(n, p, seed=seed)
+    weight_rng = make_rng(make_rng(seed).getrandbits(64) ^ 0x5EED5)
+    weighted = WeightedGraph(n)
+    for rank, (u, v) in enumerate(structure.edges(), start=1):
+        if distribution == "uniform":
+            w = weight_rng.uniform(1e-9, max_weight)
+        else:
+            w = max_weight / rank
+        weighted.add_edge(u, v, w)
+    return weighted

@@ -1,0 +1,42 @@
+"""Plain-text edge-list I/O.
+
+Format: optional comment lines starting with ``#``, then one ``u v`` pair
+per line; a header line ``n <num_vertices>`` may pin the vertex count so
+trailing isolated vertices survive a round-trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    lines = [f"n {graph.num_vertices}"]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list` (or any ``u v`` list)."""
+    num_vertices = 0
+    edges = []
+    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("n "):
+            num_vertices = int(line.split()[1])
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"malformed edge line: {raw_line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        edges.append((u, v))
+        num_vertices = max(num_vertices, u + 1, v + 1)
+    return Graph(num_vertices, edges)

@@ -1,0 +1,107 @@
+"""Graph-solution validators.
+
+Every algorithm's output is checked against these predicates in the test
+suite; they are the ground-truth definitions of the objects the paper
+computes (Section 2, Preliminaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set, Tuple
+
+from repro.graph.graph import Edge, Graph, canonical_edge
+
+
+def is_independent_set(graph: Graph, vertex_set: Iterable[int]) -> bool:
+    """Whether no two vertices of ``vertex_set`` are adjacent."""
+    chosen = set(vertex_set)
+    for v in chosen:
+        if any(u in chosen for u in graph.neighbors_view(v)):
+            return False
+    return True
+
+
+def is_maximal_independent_set(graph: Graph, vertex_set: Iterable[int]) -> bool:
+    """Whether ``vertex_set`` is independent and no vertex can be added."""
+    chosen = set(vertex_set)
+    if not is_independent_set(graph, chosen):
+        return False
+    for v in graph.vertices():
+        if v in chosen:
+            continue
+        if not any(u in chosen for u in graph.neighbors_view(v)):
+            return False
+    return True
+
+
+def is_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """Whether ``edges`` are graph edges and pairwise vertex-disjoint."""
+    used: Set[int] = set()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def is_maximal_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """Whether ``edges`` is a matching that no graph edge can extend."""
+    matching = [canonical_edge(u, v) for u, v in edges]
+    if not is_matching(graph, matching):
+        return False
+    matched = matching_vertices(matching)
+    for u, v in graph.edges():
+        if u not in matched and v not in matched:
+            return False
+    return True
+
+
+def matching_vertices(edges: Iterable[Edge]) -> Set[int]:
+    """The set of endpoints of a set of edges."""
+    covered: Set[int] = set()
+    for u, v in edges:
+        covered.add(u)
+        covered.add(v)
+    return covered
+
+
+def is_vertex_cover(graph: Graph, vertex_set: Iterable[int]) -> bool:
+    """Whether every edge has at least one endpoint in ``vertex_set``."""
+    cover = set(vertex_set)
+    return all(u in cover or v in cover for u, v in graph.edges())
+
+
+def is_valid_fractional_matching(
+    graph: Graph, weights: Mapping[Edge, float], tolerance: float = 1e-9
+) -> bool:
+    """Whether edge weights are nonnegative and each vertex's sum is ≤ 1.
+
+    This is the LP-feasibility condition the paper's duality argument
+    (Lemma 4.1) rests on; ``tolerance`` absorbs float accumulation.
+    """
+    loads: Dict[int, float] = {}
+    for (u, v), x in weights.items():
+        if x < -tolerance:
+            return False
+        if not graph.has_edge(u, v):
+            return False
+        loads[u] = loads.get(u, 0.0) + x
+        loads[v] = loads.get(v, 0.0) + x
+    return all(load <= 1.0 + tolerance for load in loads.values())
+
+
+def fractional_matching_weight(weights: Mapping[Edge, float]) -> float:
+    """Total weight ``sum_e x_e`` of a fractional matching."""
+    return sum(weights.values())
+
+
+def vertex_loads(weights: Mapping[Edge, float]) -> Dict[int, float]:
+    """Per-vertex load ``y_v = sum_{e ∋ v} x_e``."""
+    loads: Dict[int, float] = {}
+    for (u, v), x in weights.items():
+        loads[u] = loads.get(u, 0.0) + x
+        loads[v] = loads.get(v, 0.0) + x
+    return loads

@@ -1,0 +1,192 @@
+"""The MPC cluster: machines, supersteps, and round accounting.
+
+Communication happens through :meth:`MPCCluster.exchange`: every machine
+submits an outbox of ``(destination, words, payload)`` messages, the
+cluster validates that no outbox and no resulting inbox exceeds the word
+budget (both directions are bounded by local memory in the MPC model,
+Section 1.1.1 of the paper), delivers, and advances the round counter.
+
+Algorithms that use *standard techniques* the paper cites as O(1)-round
+black boxes (sorted load balancing of [GSZ11], aggregation trees) call
+:meth:`charge_rounds` with a reason string; the trace of charges is
+auditable in tests and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.mpc.errors import MemoryExceededError, ProtocolError
+from repro.mpc.machine import Machine
+from repro.utils.trace import Trace, maybe_record
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message: destination machine, word cost, payload."""
+
+    destination: int
+    words: int
+    payload: Any
+
+
+class MPCCluster:
+    """A synchronous cluster of :class:`Machine` objects.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of machines ``m``.
+    words_per_machine:
+        Memory budget ``S`` in words.  For the paper's regime this is
+        ``Θ(n)``; callers size it as ``memory_factor * n``.
+    trace:
+        Optional :class:`Trace` receiving one event per round charged.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        words_per_machine: int,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if num_machines <= 0:
+            raise ValueError(f"num_machines must be positive, got {num_machines}")
+        self._machines = [
+            Machine(machine_id, words_per_machine)
+            for machine_id in range(num_machines)
+        ]
+        self._words_per_machine = words_per_machine
+        self._rounds = 0
+        self._trace = trace
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machines."""
+        return len(self._machines)
+
+    @property
+    def words_per_machine(self) -> int:
+        """Per-machine word budget ``S``."""
+        return self._words_per_machine
+
+    @property
+    def rounds(self) -> int:
+        """Total MPC rounds consumed so far."""
+        return self._rounds
+
+    def machine(self, machine_id: int) -> Machine:
+        """The machine with id ``machine_id``."""
+        if not 0 <= machine_id < len(self._machines):
+            raise ProtocolError(
+                f"machine id {machine_id} out of range [0, {len(self._machines)})"
+            )
+        return self._machines[machine_id]
+
+    def machines(self) -> List[Machine]:
+        """All machines."""
+        return list(self._machines)
+
+    def peak_words(self) -> int:
+        """Largest peak residency across machines."""
+        return max(m.peak_words for m in self._machines)
+
+    # -- round accounting -----------------------------------------------------
+
+    def charge_rounds(self, count: int, reason: str) -> None:
+        """Consume ``count`` rounds for a cited O(1)-round primitive."""
+        if count < 0:
+            raise ValueError(f"round count must be >= 0, got {count}")
+        self._rounds += count
+        maybe_record(self._trace, "rounds_charged", count=count, reason=reason)
+
+    # -- communication ---------------------------------------------------------
+
+    def exchange(
+        self, outboxes: Dict[int, List[Message]], context: str = "exchange"
+    ) -> Dict[int, List[Message]]:
+        """Run one communication superstep.
+
+        ``outboxes`` maps sender machine id to its message list.  Validates
+        that each sender's outbox and each receiver's inbox fit in machine
+        memory, advances the round counter by 1, and returns the inboxes.
+        """
+        inbox_words: Dict[int, int] = {}
+        inboxes: Dict[int, List[Message]] = {}
+        for sender, messages in outboxes.items():
+            self.machine(sender)  # validates the id
+            out_words = sum(msg.words for msg in messages)
+            if out_words > self._words_per_machine:
+                raise MemoryExceededError(
+                    sender, out_words, self._words_per_machine, f"{context}: outbox"
+                )
+            for msg in messages:
+                self.machine(msg.destination)
+                inbox_words[msg.destination] = (
+                    inbox_words.get(msg.destination, 0) + msg.words
+                )
+                inboxes.setdefault(msg.destination, []).append(msg)
+        for receiver, words in inbox_words.items():
+            if words > self._words_per_machine:
+                raise MemoryExceededError(
+                    receiver, words, self._words_per_machine, f"{context}: inbox"
+                )
+        self._rounds += 1
+        maybe_record(
+            self._trace,
+            "rounds_charged",
+            count=1,
+            reason=context,
+            max_inbox_words=max(inbox_words.values(), default=0),
+        )
+        return inboxes
+
+    def ship_to_machine(
+        self,
+        destination: int,
+        key: str,
+        value: Any,
+        words: int,
+        context: str = "ship",
+    ) -> None:
+        """Deliver one bulk object to ``destination`` in one round.
+
+        Models the common "send the induced subgraph to one machine" step:
+        validates the object fits, stores it, and charges one round.
+        """
+        machine = self.machine(destination)
+        machine.store(key, value, words, context=context)
+        self._rounds += 1
+        maybe_record(
+            self._trace, "rounds_charged", count=1, reason=context, words=words
+        )
+
+    def broadcast(self, words: int, context: str = "broadcast") -> None:
+        """Broadcast ``words`` of shared state from one machine to all.
+
+        Validates the payload fits in every machine's memory and charges one
+        round (machine-to-machine broadcast is one round in MPC as long as
+        the payload fits; larger payloads must be split by the caller).
+        """
+        if words > self._words_per_machine:
+            raise MemoryExceededError(
+                0, words, self._words_per_machine, f"{context}: broadcast payload"
+            )
+        self._rounds += 1
+        maybe_record(
+            self._trace, "rounds_charged", count=1, reason=context, words=words
+        )
+
+    def release_all(self) -> None:
+        """Clear every machine's store (end of a phase)."""
+        for machine in self._machines:
+            machine.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MPCCluster(machines={self.num_machines}, "
+            f"S={self._words_per_machine} words, rounds={self._rounds})"
+        )

@@ -1,0 +1,32 @@
+"""Exceptions raised by the MPC and CONGESTED-CLIQUE substrates."""
+
+from __future__ import annotations
+
+
+class ProtocolError(RuntimeError):
+    """An algorithm violated the communication protocol of the model.
+
+    Examples: sending to a nonexistent machine, routing more messages
+    through Lenzen's scheme than its precondition allows.
+    """
+
+
+class MemoryExceededError(ProtocolError):
+    """A machine's word budget was exceeded.
+
+    Carries enough context to debug which step of which algorithm blew the
+    budget — memory violations are the primary failure mode the paper's
+    lemmas (3.1, 4.7) rule out, so tests assert both that normal runs never
+    raise this and that undersized clusters do.
+    """
+
+    def __init__(self, machine_id: int, used_words: int, capacity_words: int, context: str = "") -> None:
+        detail = f" during {context}" if context else ""
+        super().__init__(
+            f"machine {machine_id} needs {used_words} words but has "
+            f"capacity {capacity_words}{detail}"
+        )
+        self.machine_id = machine_id
+        self.used_words = used_words
+        self.capacity_words = capacity_words
+        self.context = context

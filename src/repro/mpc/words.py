@@ -1,0 +1,38 @@
+"""Memory accounting units.
+
+The MPC model counts machine memory in *words* of ``O(log n)`` bits.  This
+module centralizes the word cost of every object the algorithms ship so the
+accounting is consistent across the library:
+
+* a vertex id, rank, or iteration index: 1 word;
+* an undirected edge (two endpoints): 2 words;
+* a float edge weight or threshold: 1 word.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sized, Tuple
+
+WORDS_PER_ID = 1
+WORDS_PER_EDGE = 2
+WORDS_PER_FLOAT = 1
+
+
+def id_words(count: int) -> int:
+    """Words needed for ``count`` vertex ids."""
+    return WORDS_PER_ID * count
+
+
+def edge_words(count: int) -> int:
+    """Words needed for ``count`` undirected edges."""
+    return WORDS_PER_EDGE * count
+
+
+def edge_list_words(edges: Sized) -> int:
+    """Words needed to store an edge collection."""
+    return edge_words(len(edges))
+
+
+def weighted_edge_words(count: int) -> int:
+    """Words for ``count`` edges each carrying a float weight."""
+    return (WORDS_PER_EDGE + WORDS_PER_FLOAT) * count

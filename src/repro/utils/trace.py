@@ -1,0 +1,67 @@
+"""Lightweight structured tracing for algorithm instrumentation.
+
+The experiment harness (``repro.analysis``) needs per-phase measurements —
+rounds charged, edges shipped, estimate deviations — without the algorithms
+growing ad-hoc logging code.  Algorithms append :class:`TraceEvent` records
+to an optional :class:`Trace`; a ``None`` trace costs one branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One named measurement with arbitrary payload fields."""
+
+    kind: str
+    payload: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+class Trace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, kind: str, **payload: Any) -> None:
+        """Append an event of ``kind`` with ``payload`` fields."""
+        self._events.append(TraceEvent(kind=kind, payload=dict(payload)))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All events, or only those matching ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def values(self, kind: str, key: str) -> List[Any]:
+        """The ``key`` field of every event of ``kind``, in order."""
+        return [event[key] for event in self.events(kind)]
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """The most recent event of ``kind``, or ``None``."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+
+def maybe_record(trace: Optional[Trace], kind: str, **payload: Any) -> None:
+    """Record on ``trace`` if it is not ``None`` (hot-path helper)."""
+    if trace is not None:
+        trace.record(kind, **payload)

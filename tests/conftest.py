@@ -1,0 +1,59 @@
+"""Shared fixtures: small graphs with known optima."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: max matching 1, min VC 2, max IS 1."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """P5 (4 edges): max matching 2, min VC 2."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def star10() -> Graph:
+    """Star with 10 leaves: max matching 1, min VC 1, max IS 10."""
+    return star_graph(10)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """C6: max matching 3, min VC 3."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph: perfect matching (5), max IS 4, min VC 6."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph(10, outer + spokes + inner)
+
+
+@pytest.fixture
+def medium_gnp() -> Graph:
+    """A deterministic medium G(n, p) instance for algorithm tests."""
+    return gnp_random_graph(200, 0.05, seed=42)
+
+
+@pytest.fixture
+def empty_graph() -> Graph:
+    """A graph with vertices but no edges."""
+    return Graph(7)

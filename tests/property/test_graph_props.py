@@ -1,0 +1,88 @@
+"""Property-based tests for the graph substrate itself."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph, canonical_edge
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices: int = 40):
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return gnm_random_graph(n, m, seed=seed)
+
+
+class TestGraphProperties:
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_handshake_lemma(self, graph: Graph):
+        assert sum(graph.degrees()) == 2 * graph.num_edges
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_edges_are_canonical_unique(self, graph: Graph):
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges)) == graph.num_edges
+        assert all(u < v for u, v in edges)
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_copy_round_trip(self, graph: Graph):
+        assert graph.copy() == graph
+
+    @_SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 100))
+    def test_induced_subgraph_edge_subset(self, graph: Graph, seed: int):
+        import random
+
+        rng = random.Random(seed)
+        subset = [v for v in graph.vertices() if rng.random() < 0.5]
+        induced = graph.induced_edges(subset)
+        subset_set = set(subset)
+        assert all(
+            graph.has_edge(u, v) and u in subset_set and v in subset_set
+            for u, v in induced
+        )
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_isolate_removes_exactly_degree(self, graph: Graph):
+        if graph.num_vertices == 0:
+            return
+        v = max(graph.vertices(), key=graph.degree)
+        degree = graph.degree(v)
+        before = graph.num_edges
+        working = graph.copy()
+        working.isolate(v)
+        assert working.num_edges == before - degree
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_line_graph_vertex_count(self, graph: Graph):
+        lg, order = graph.line_graph()
+        assert lg.num_vertices == graph.num_edges == len(order)
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_components_partition_vertices(self, graph: Graph):
+        components = graph.connected_components()
+        all_vertices = sorted(v for comp in components for v in comp)
+        assert all_vertices == list(graph.vertices())
+
+    @_SETTINGS
+    @given(u=st.integers(0, 1000), v=st.integers(0, 1000))
+    def test_canonical_edge_symmetric(self, u: int, v: int):
+        if u != v:
+            assert canonical_edge(u, v) == canonical_edge(v, u)
+            assert canonical_edge(u, v)[0] < canonical_edge(u, v)[1]

@@ -1,0 +1,196 @@
+"""Unit tests for baseline algorithms: Luby, greedy, Israeli-Itai,
+filtering, Hopcroft-Karp, Blossom, and the brute-force solvers."""
+
+import math
+
+import pytest
+
+from repro.baselines.blossom import maximum_matching, maximum_matching_size
+from repro.baselines.exact import (
+    brute_force_maximum_matching,
+    brute_force_maximum_weight_matching,
+    brute_force_minimum_vertex_cover,
+    exact_maximum_independent_set,
+)
+from repro.baselines.filtering import filtering_maximal_matching
+from repro.baselines.greedy import greedy_maximal_matching, greedy_mis_sequential
+from repro.baselines.hopcroft_karp import bipartition, hopcroft_karp_matching
+from repro.baselines.israeli_itai import israeli_itai_matching
+from repro.baselines.luby import luby_mis
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    random_bipartite_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_vertex_cover,
+)
+from repro.graph.weighted import WeightedGraph
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_maximal_independent(self, seed):
+        g = gnp_random_graph(150, 0.08, seed=seed)
+        result = luby_mis(g, seed=seed)
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_rounds_logarithmic(self):
+        g = gnp_random_graph(500, 0.05, seed=3)
+        result = luby_mis(g, seed=3)
+        assert result.rounds <= 6 * math.log2(500)
+
+    def test_edgeless(self):
+        result = luby_mis(Graph(5), seed=1)
+        assert result.mis == set(range(5))
+        assert result.rounds == 1
+
+
+class TestGreedyBaselines:
+    def test_greedy_mis(self):
+        g = gnp_random_graph(100, 0.1, seed=4)
+        assert is_maximal_independent_set(g, greedy_mis_sequential(g, seed=4))
+
+    def test_greedy_matching_maximal(self):
+        g = gnp_random_graph(100, 0.1, seed=5)
+        assert is_maximal_matching(g, greedy_maximal_matching(g, seed=5))
+
+    def test_greedy_matching_with_fixed_order(self):
+        g = path_graph(4)
+        assert greedy_maximal_matching(g, order=[(0, 1), (1, 2), (2, 3)]) == {
+            (0, 1),
+            (2, 3),
+        }
+
+
+class TestIsraeliItai:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_maximal_matching(self, seed):
+        g = gnp_random_graph(120, 0.08, seed=seed)
+        result = israeli_itai_matching(g, seed=seed)
+        assert is_maximal_matching(g, result.matching)
+
+    def test_rounds_logarithmic(self):
+        g = gnp_random_graph(400, 0.05, seed=2)
+        result = israeli_itai_matching(g, seed=2)
+        assert result.rounds <= 8 * math.log2(400)
+
+    def test_star(self):
+        result = israeli_itai_matching(star_graph(20), seed=3)
+        assert len(result.matching) == 1
+
+
+class TestFiltering:
+    def test_maximal_matching(self):
+        g = gnp_random_graph(150, 0.1, seed=6)
+        result = filtering_maximal_matching(g, words_per_machine=4 * 150, seed=6)
+        assert is_maximal_matching(g, result.matching)
+
+    def test_residuals_shrink(self):
+        g = gnp_random_graph(300, 0.15, seed=7)
+        result = filtering_maximal_matching(g, words_per_machine=2 * 300, seed=7)
+        trajectory = result.residual_edges_per_round
+        assert trajectory[-1] == 0
+        assert all(
+            later <= earlier
+            for earlier, later in zip(trajectory, trajectory[1:])
+        )
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ValueError):
+            filtering_maximal_matching(path_graph(3), words_per_machine=4)
+
+    def test_fits_in_one_round_when_memory_large(self):
+        g = gnp_random_graph(50, 0.1, seed=8)
+        result = filtering_maximal_matching(g, words_per_machine=10**6, seed=8)
+        assert result.rounds == 1
+
+
+class TestHopcroftKarp:
+    def test_bipartition_detects(self):
+        assert bipartition(path_graph(5)) is not None
+        assert bipartition(cycle_graph(5)) is None
+
+    def test_exact_on_even_cycle(self):
+        assert len(hopcroft_karp_matching(cycle_graph(8))) == 4
+
+    def test_exact_on_path(self):
+        assert len(hopcroft_karp_matching(path_graph(7))) == 3
+
+    def test_random_bipartite_agrees_with_blossom(self):
+        g = random_bipartite_graph(40, 40, 0.08, seed=9)
+        assert len(hopcroft_karp_matching(g)) == maximum_matching_size(g)
+
+    def test_rejects_odd_cycle(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp_matching(cycle_graph(5))
+
+    def test_output_is_matching(self):
+        g = random_bipartite_graph(30, 50, 0.1, seed=10)
+        assert is_matching(g, hopcroft_karp_matching(g))
+
+
+class TestBlossom:
+    def test_odd_cycle(self):
+        assert maximum_matching_size(cycle_graph(5)) == 2
+        assert maximum_matching_size(cycle_graph(7)) == 3
+
+    def test_complete_graphs(self):
+        assert maximum_matching_size(complete_graph(6)) == 3
+        assert maximum_matching_size(complete_graph(7)) == 3
+
+    def test_petersen_has_perfect_matching(self, petersen):
+        assert maximum_matching_size(petersen) == 5
+
+    def test_agrees_with_brute_force(self):
+        for seed in range(6):
+            g = gnp_random_graph(12, 0.3, seed=seed)
+            assert maximum_matching_size(g) == len(
+                brute_force_maximum_matching(g)
+            )
+
+    def test_output_is_matching(self):
+        g = gnp_random_graph(60, 0.1, seed=11)
+        assert is_matching(g, maximum_matching(g))
+
+    def test_blossom_within_blossom(self):
+        """Two fused triangles plus a tail force nested contractions."""
+        g = Graph(
+            8,
+            [
+                (0, 1), (1, 2), (0, 2),  # triangle
+                (2, 3), (3, 4), (4, 2),  # second triangle sharing vertex 2
+                (4, 5), (5, 6), (6, 7),
+            ],
+        )
+        assert maximum_matching_size(g) == len(brute_force_maximum_matching(g))
+
+
+class TestExact:
+    def test_mis_on_structures(self):
+        assert len(exact_maximum_independent_set(star_graph(6))) == 6
+        assert len(exact_maximum_independent_set(cycle_graph(5))) == 2
+        assert len(exact_maximum_independent_set(complete_graph(5))) == 1
+
+    def test_vc_complements_mis(self):
+        g = gnp_random_graph(14, 0.3, seed=12)
+        vc = brute_force_minimum_vertex_cover(g)
+        assert is_vertex_cover(g, vc)
+        assert len(vc) == 14 - len(exact_maximum_independent_set(g))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            exact_maximum_independent_set(Graph(60))
+
+    def test_weighted_brute_force(self):
+        wg = WeightedGraph(4, [(0, 1, 5.0), (1, 2, 7.0), (2, 3, 5.0)])
+        edges, weight = brute_force_maximum_weight_matching(wg)
+        assert weight == pytest.approx(10.0)
+        assert edges == {(0, 1), (2, 3)}

@@ -1,0 +1,80 @@
+"""Unit tests for the algorithm configuration dataclasses."""
+
+import math
+
+import pytest
+
+from repro.core.config import MatchingConfig, MISConfig
+
+
+class TestMISConfig:
+    def test_defaults_match_paper(self):
+        config = MISConfig()
+        assert config.alpha == 0.75
+
+    def test_sparse_threshold_grows_polylog(self):
+        config = MISConfig(sparse_degree_exponent=2.0)
+        t_small = config.sparse_degree_threshold(256)
+        t_large = config.sparse_degree_threshold(2**20)
+        assert t_small == int(8**2)
+        assert t_large == int(20**2)
+        assert t_large > t_small
+
+    def test_tiny_n_floor(self):
+        assert MISConfig().sparse_degree_threshold(2) == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"sparse_degree_exponent": 0},
+            {"memory_factor": 0},
+            {"luby_rounds_factor": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MISConfig(**kwargs)
+
+    def test_frozen(self):
+        config = MISConfig()
+        with pytest.raises(Exception):
+            config.alpha = 0.5  # type: ignore[misc]
+
+
+class TestMatchingConfig:
+    def test_threshold_interval_matches_paper(self):
+        config = MatchingConfig(epsilon=0.1)
+        assert config.threshold_low == pytest.approx(0.6)
+        assert config.threshold_high == pytest.approx(0.8)
+
+    def test_degree_floor(self):
+        config = MatchingConfig(degree_floor_exponent=2.0)
+        assert config.degree_floor(1024) == 100
+        assert config.degree_floor(2) == 4
+
+    def test_iterations_per_phase_logarithmic(self):
+        config = MatchingConfig(iterations_scale=2.0)
+        assert config.iterations_per_phase(1) == 1
+        assert config.iterations_per_phase(2) == 2
+        assert config.iterations_per_phase(1024) == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": 0.5},
+            {"iterations_scale": 0},
+            {"degree_floor_exponent": 0},
+            {"memory_factor": 0},
+            {"max_direct_iterations": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MatchingConfig(**kwargs)
+
+    def test_fractional_memory_factor_allowed(self):
+        config = MatchingConfig(memory_factor=0.5)
+        assert config.memory_factor == 0.5

@@ -1,0 +1,96 @@
+"""Unit tests for the integral matching pipeline (Theorem 1.2)."""
+
+import pytest
+
+from repro.baselines.blossom import maximum_matching
+from repro.core.config import MatchingConfig
+from repro.core.integral import mpc_maximum_matching
+from repro.graph.generators import (
+    gnp_random_graph,
+    path_graph,
+    planted_matching_graph,
+    random_bipartite_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import is_matching, is_maximal_matching
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_output_is_matching(self, seed):
+        g = gnp_random_graph(200, 0.06, seed=seed)
+        result = mpc_maximum_matching(g, seed=seed)
+        assert is_matching(g, result.matching)
+
+    def test_output_is_maximal(self):
+        """The Section 4.4.5 cleanup guarantees maximality of the union."""
+        g = gnp_random_graph(150, 0.08, seed=3)
+        result = mpc_maximum_matching(g, seed=3)
+        assert is_maximal_matching(g, result.matching)
+
+    def test_empty_graph(self):
+        result = mpc_maximum_matching(Graph(0))
+        assert result.matching == set()
+
+    def test_edgeless(self):
+        result = mpc_maximum_matching(Graph(6), seed=1)
+        assert result.matching == set()
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        result = mpc_maximum_matching(g, seed=2)
+        assert result.matching == {(0, 1)}
+
+    def test_star(self):
+        g = star_graph(25)
+        result = mpc_maximum_matching(g, seed=4)
+        assert len(result.matching) == 1
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_theorem_1_2_ratio(self, seed):
+        eps = 0.1
+        g = gnp_random_graph(200, 0.06, seed=seed)
+        config = MatchingConfig(epsilon=eps)
+        result = mpc_maximum_matching(g, config=config, seed=seed)
+        optimum = len(maximum_matching(g))
+        assert len(result.matching) >= optimum / (2 + eps)
+
+    def test_planted_matching_recovered_within_factor(self):
+        g, planted = planted_matching_graph(100, noise_edges=200, seed=5)
+        result = mpc_maximum_matching(g, seed=5)
+        assert len(result.matching) >= len(planted) / 2.2
+
+    def test_bipartite(self):
+        g = random_bipartite_graph(80, 80, 0.06, seed=6)
+        result = mpc_maximum_matching(g, seed=6)
+        optimum = len(maximum_matching(g))
+        assert len(result.matching) >= optimum / 2.2
+
+    def test_path(self):
+        g = path_graph(60)
+        result = mpc_maximum_matching(g, seed=7)
+        assert len(result.matching) >= 30 / 2.2
+
+
+class TestProcess:
+    def test_determinism(self):
+        g = gnp_random_graph(120, 0.08, seed=8)
+        a = mpc_maximum_matching(g, seed=9)
+        b = mpc_maximum_matching(g, seed=9)
+        assert a.matching == b.matching
+        assert a.rounds == b.rounds
+
+    def test_pass_accounting(self):
+        g = gnp_random_graph(200, 0.06, seed=10)
+        result = mpc_maximum_matching(g, seed=10)
+        assert result.passes == len(result.per_pass_sizes)
+        assert sum(result.per_pass_sizes) + result.cleanup_edges == len(
+            result.matching
+        )
+
+    def test_rounds_positive(self):
+        g = gnp_random_graph(100, 0.1, seed=11)
+        assert mpc_maximum_matching(g, seed=11).rounds > 0

@@ -1,0 +1,33 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = Graph(6, [(0, 1), (2, 5), (3, 4)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_trailing_isolated_vertices_survive(self, tmp_path):
+        g = Graph(10, [(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).num_vertices == 10
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)

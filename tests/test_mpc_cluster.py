@@ -1,0 +1,136 @@
+"""Unit tests for the MPC substrate: machines, cluster, memory accounting."""
+
+import pytest
+
+from repro.mpc.cluster import Message, MPCCluster
+from repro.mpc.errors import MemoryExceededError, ProtocolError
+from repro.mpc.machine import Machine
+from repro.mpc.words import (
+    WORDS_PER_EDGE,
+    edge_list_words,
+    edge_words,
+    id_words,
+    weighted_edge_words,
+)
+from repro.utils.trace import Trace
+
+
+class TestWords:
+    def test_units(self):
+        assert id_words(3) == 3
+        assert edge_words(3) == 6
+        assert edge_list_words([(0, 1), (2, 3)]) == 4
+        assert weighted_edge_words(2) == 6
+
+
+class TestMachine:
+    def test_store_load_release(self):
+        m = Machine(0, capacity_words=10)
+        m.store("a", [1, 2], words=4)
+        assert m.load("a") == [1, 2]
+        assert m.used_words == 4
+        m.release("a")
+        assert m.used_words == 0
+        assert m.peak_words == 4
+
+    def test_capacity_enforced(self):
+        m = Machine(0, capacity_words=10)
+        with pytest.raises(MemoryExceededError) as excinfo:
+            m.store("big", None, words=11, context="test-step")
+        assert excinfo.value.machine_id == 0
+        assert "test-step" in str(excinfo.value)
+
+    def test_replacement_releases_first(self):
+        m = Machine(0, capacity_words=10)
+        m.store("a", None, words=8)
+        m.store("a", None, words=9)  # would overflow if not released first
+        assert m.used_words == 9
+
+    def test_clear(self):
+        m = Machine(0, capacity_words=10)
+        m.store("a", None, words=5)
+        m.clear()
+        assert m.used_words == 0
+        assert not m.has("a")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Machine(0, capacity_words=0)
+
+    def test_negative_words_rejected(self):
+        m = Machine(0, capacity_words=10)
+        with pytest.raises(ValueError):
+            m.store("a", None, words=-1)
+
+
+class TestCluster:
+    def test_round_counting(self):
+        cluster = MPCCluster(4, words_per_machine=100)
+        assert cluster.rounds == 0
+        cluster.charge_rounds(2, "setup")
+        assert cluster.rounds == 2
+
+    def test_exchange_delivers_and_counts(self):
+        cluster = MPCCluster(3, words_per_machine=100)
+        inboxes = cluster.exchange(
+            {0: [Message(destination=2, words=10, payload="hi")]}
+        )
+        assert cluster.rounds == 1
+        assert inboxes[2][0].payload == "hi"
+
+    def test_exchange_outbox_limit(self):
+        cluster = MPCCluster(2, words_per_machine=10)
+        with pytest.raises(MemoryExceededError):
+            cluster.exchange({0: [Message(destination=1, words=11, payload=None)]})
+
+    def test_exchange_inbox_limit(self):
+        cluster = MPCCluster(3, words_per_machine=10)
+        with pytest.raises(MemoryExceededError):
+            cluster.exchange(
+                {
+                    0: [Message(destination=2, words=8, payload=None)],
+                    1: [Message(destination=2, words=8, payload=None)],
+                }
+            )
+
+    def test_invalid_machine_id(self):
+        cluster = MPCCluster(2, words_per_machine=10)
+        with pytest.raises(ProtocolError):
+            cluster.machine(2)
+        with pytest.raises(ProtocolError):
+            cluster.exchange({0: [Message(destination=5, words=1, payload=None)]})
+
+    def test_ship_to_machine(self):
+        cluster = MPCCluster(2, words_per_machine=10)
+        cluster.ship_to_machine(1, "data", [1, 2, 3], words=6)
+        assert cluster.rounds == 1
+        assert cluster.machine(1).load("data") == [1, 2, 3]
+
+    def test_broadcast_validates_size(self):
+        cluster = MPCCluster(2, words_per_machine=10)
+        cluster.broadcast(10)
+        with pytest.raises(MemoryExceededError):
+            cluster.broadcast(11)
+
+    def test_peak_words(self):
+        cluster = MPCCluster(2, words_per_machine=10)
+        cluster.ship_to_machine(0, "a", None, words=7)
+        cluster.release_all()
+        assert cluster.peak_words() == 7
+
+    def test_trace_records_charges(self):
+        trace = Trace()
+        cluster = MPCCluster(2, words_per_machine=10, trace=trace)
+        cluster.charge_rounds(1, "alpha")
+        cluster.broadcast(5, context="beta")
+        reasons = trace.values("rounds_charged", "reason")
+        assert reasons == ["alpha", "beta"]
+
+    def test_negative_round_charge_rejected(self):
+        cluster = MPCCluster(1, words_per_machine=10)
+        with pytest.raises(ValueError):
+            cluster.charge_rounds(-1, "x")
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            MPCCluster(0, words_per_machine=10)

@@ -1,0 +1,104 @@
+"""Unit tests for the solution validators."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    fractional_matching_weight,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_valid_fractional_matching,
+    is_vertex_cover,
+    matching_vertices,
+    vertex_loads,
+)
+
+
+@pytest.fixture
+def square() -> Graph:
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestIndependentSet:
+    def test_empty_is_independent(self, square):
+        assert is_independent_set(square, set())
+
+    def test_diagonal_is_independent(self, square):
+        assert is_independent_set(square, {0, 2})
+
+    def test_adjacent_not_independent(self, square):
+        assert not is_independent_set(square, {0, 1})
+
+    def test_maximality(self, square):
+        assert is_maximal_independent_set(square, {0, 2})
+        assert not is_maximal_independent_set(square, {0})
+        assert not is_maximal_independent_set(square, {0, 1})
+
+    def test_isolated_vertices_must_be_included(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_maximal_independent_set(g, {0})
+        assert is_maximal_independent_set(g, {0, 2})
+
+
+class TestMatching:
+    def test_empty_matching(self, square):
+        assert is_matching(square, set())
+
+    def test_valid_matching(self, square):
+        assert is_matching(square, {(0, 1), (2, 3)})
+
+    def test_shared_vertex_rejected(self, square):
+        assert not is_matching(square, {(0, 1), (1, 2)})
+
+    def test_non_edge_rejected(self, square):
+        assert not is_matching(square, {(0, 2)})
+
+    def test_maximal_matching(self, square):
+        assert is_maximal_matching(square, {(0, 1), (2, 3)})
+        assert not is_maximal_matching(square, {(0, 1)})
+
+    def test_single_edge_maximal_on_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert is_maximal_matching(g, {(0, 1)})
+
+    def test_matching_vertices(self):
+        assert matching_vertices({(0, 1), (2, 3)}) == {0, 1, 2, 3}
+
+
+class TestVertexCover:
+    def test_full_cover(self, square):
+        assert is_vertex_cover(square, {0, 1, 2, 3})
+
+    def test_minimum_cover(self, square):
+        assert is_vertex_cover(square, {0, 2})
+        assert is_vertex_cover(square, {1, 3})
+
+    def test_non_cover(self, square):
+        assert not is_vertex_cover(square, {0})
+
+    def test_empty_cover_on_edgeless(self):
+        assert is_vertex_cover(Graph(5), set())
+
+
+class TestFractional:
+    def test_valid(self, square):
+        weights = {(0, 1): 0.5, (1, 2): 0.5, (2, 3): 0.5, (0, 3): 0.5}
+        assert is_valid_fractional_matching(square, weights)
+        assert fractional_matching_weight(weights) == pytest.approx(2.0)
+
+    def test_overloaded_vertex(self, square):
+        weights = {(0, 1): 0.8, (1, 2): 0.8}
+        assert not is_valid_fractional_matching(square, weights)
+
+    def test_negative_weight(self, square):
+        assert not is_valid_fractional_matching(square, {(0, 1): -0.1})
+
+    def test_non_edge(self, square):
+        assert not is_valid_fractional_matching(square, {(0, 2): 0.1})
+
+    def test_vertex_loads(self, square):
+        loads = vertex_loads({(0, 1): 0.25, (1, 2): 0.5})
+        assert loads[1] == pytest.approx(0.75)
+        assert loads[0] == pytest.approx(0.25)

@@ -1,0 +1,64 @@
+"""Round-accounting audit tests.
+
+Every round an algorithm reports must be traceable: the sum of charges
+recorded on the trace equals the result's round count, and every charge
+carries a human-readable reason.  This is the property that makes the
+experiment tables trustworthy.
+"""
+
+import pytest
+
+from repro.core.matching_mpc import mpc_fractional_matching
+from repro.core.mis_mpc import mis_mpc
+from repro.graph.generators import gnp_random_graph
+from repro.utils.trace import Trace
+
+
+class TestMISRoundAudit:
+    def test_charges_sum_to_rounds(self):
+        g = gnp_random_graph(400, 0.3, seed=1)
+        trace = Trace()
+        result = mis_mpc(g, seed=1, trace=trace)
+        charged = sum(trace.values("rounds_charged", "count"))
+        assert charged == result.rounds
+
+    def test_every_charge_has_reason(self):
+        g = gnp_random_graph(200, 0.2, seed=2)
+        trace = Trace()
+        mis_mpc(g, seed=2, trace=trace)
+        reasons = trace.values("rounds_charged", "reason")
+        assert reasons
+        assert all(isinstance(reason, str) and reason for reason in reasons)
+
+    def test_phases_recorded(self):
+        g = gnp_random_graph(512, 0.5, seed=3)
+        trace = Trace()
+        result = mis_mpc(g, seed=3, trace=trace)
+        assert trace.count("mis_prefix_phase") == result.prefix_phases
+        assert trace.count("sparsified_mis") == 1
+
+
+class TestMatchingRoundAudit:
+    def test_charges_sum_to_rounds(self):
+        g = gnp_random_graph(300, 0.06, seed=4)
+        trace = Trace()
+        result = mpc_fractional_matching(g, seed=4, trace=trace)
+        charged = sum(trace.values("rounds_charged", "count"))
+        assert charged == result.rounds
+
+    def test_phase_events_match_result(self):
+        g = gnp_random_graph(300, 0.06, seed=5)
+        trace = Trace()
+        result = mpc_fractional_matching(g, seed=5, trace=trace)
+        assert trace.count("matching_phase") == result.phases
+
+    def test_direct_iterations_charged_individually(self):
+        g = gnp_random_graph(300, 0.06, seed=6)
+        trace = Trace()
+        result = mpc_fractional_matching(g, seed=6, trace=trace)
+        direct_charges = [
+            event
+            for event in trace.events("rounds_charged")
+            if event["reason"] == "matching: direct Central-Rand iteration"
+        ]
+        assert len(direct_charges) == result.direct_iterations

@@ -1,0 +1,76 @@
+"""Unit tests for the Lemma 5.1 randomized rounding."""
+
+import pytest
+
+from repro.core.matching_mpc import mpc_fractional_matching
+from repro.core.rounding import (
+    round_fractional_matching,
+    round_fractional_matching_detailed,
+)
+from repro.graph.generators import complete_graph, gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import is_matching
+
+
+class TestRounding:
+    def test_output_is_always_a_matching(self):
+        g = gnp_random_graph(200, 0.08, seed=1)
+        fractional = mpc_fractional_matching(g, seed=1)
+        candidates = fractional.rounding_candidates(0.1)
+        for seed in range(5):
+            matching = round_fractional_matching(
+                g, fractional.matching.weights, candidates, seed=seed
+            )
+            assert is_matching(g, matching)
+
+    def test_yield_meets_paper_guarantee(self):
+        """Lemma 5.1: matching size >= |C~|/50 (w.h.p.; measured is larger)."""
+        g = gnp_random_graph(400, 0.05, seed=2)
+        fractional = mpc_fractional_matching(g, seed=2)
+        candidates = fractional.rounding_candidates(0.1)
+        assert len(candidates) > 50
+        matching = round_fractional_matching(
+            g, fractional.matching.weights, candidates, seed=3
+        )
+        assert len(matching) >= len(candidates) / 50
+
+    def test_empty_candidates(self):
+        g = complete_graph(4)
+        assert round_fractional_matching(g, {(0, 1): 0.5}, set(), seed=1) == set()
+
+    def test_zero_weights_never_proposed(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        weights = {(0, 1): 0.0, (2, 3): 0.0}
+        outcome = round_fractional_matching_detailed(
+            g, weights, {0, 1, 2, 3}, seed=4
+        )
+        assert outcome.proposals == 0
+        assert outcome.matching == set()
+
+    def test_determinism(self):
+        g = gnp_random_graph(100, 0.1, seed=5)
+        fractional = mpc_fractional_matching(g, seed=5)
+        candidates = fractional.rounding_candidates(0.1)
+        a = round_fractional_matching(g, fractional.matching.weights, candidates, seed=6)
+        b = round_fractional_matching(g, fractional.matching.weights, candidates, seed=6)
+        assert a == b
+
+    def test_statistics_consistent(self):
+        g = gnp_random_graph(300, 0.05, seed=7)
+        fractional = mpc_fractional_matching(g, seed=7)
+        candidates = fractional.rounding_candidates(0.1)
+        outcome = round_fractional_matching_detailed(
+            g, fractional.matching.weights, candidates, seed=8
+        )
+        assert outcome.proposals == len(outcome.matching) + outcome.collisions
+
+    def test_single_edge_graph_high_weight(self):
+        """A single saturated edge is proposed with prob ~2/10 per side."""
+        g = Graph(2, [(0, 1)])
+        weights = {(0, 1): 1.0}
+        hits = sum(
+            bool(round_fractional_matching(g, weights, {0, 1}, seed=s))
+            for s in range(400)
+        )
+        # P(matched) = P(at least one endpoint proposes) = 1-(0.9)^2 = 0.19.
+        assert 0.10 <= hits / 400 <= 0.30

@@ -1,0 +1,38 @@
+"""Unit tests for the Section 4.4.5 small-matching fallback."""
+
+import pytest
+
+from repro.core.small_matchings import small_matching_fallback
+from repro.graph.generators import gnp_random_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import is_maximal_matching, is_vertex_cover
+
+
+class TestSmallMatchingFallback:
+    def test_maximal_matching_and_cover(self):
+        g = gnp_random_graph(120, 0.05, seed=1)
+        result = small_matching_fallback(g, words_per_machine=8 * 120, seed=1)
+        assert is_maximal_matching(g, result.matching)
+        assert is_vertex_cover(g, result.cover)
+
+    def test_small_matching_instance(self):
+        """A few stars: tiny maximum matching, the regime 4.4.5 targets."""
+        g = Graph(33)
+        for center in (0, 11, 22):
+            for leaf in range(1, 11):
+                g.add_edge(center, center + leaf)
+        result = small_matching_fallback(g, words_per_machine=8 * 33, seed=2)
+        assert len(result.matching) == 3
+        assert is_vertex_cover(g, result.cover)
+        # Cover = endpoints of maximal matching: 2 per star vs optimal 1.
+        assert len(result.cover) == 6
+
+    def test_rounds_counted(self):
+        g = gnp_random_graph(200, 0.2, seed=3)
+        result = small_matching_fallback(g, words_per_machine=4 * 200, seed=3)
+        assert result.rounds >= 1
+
+    def test_edgeless(self):
+        result = small_matching_fallback(Graph(4), words_per_machine=64, seed=4)
+        assert result.matching == set()
+        assert result.cover == set()

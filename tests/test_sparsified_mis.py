@@ -1,0 +1,62 @@
+"""Unit tests for the sparsified (compressed-Luby) MIS finish."""
+
+import pytest
+
+from repro.core.sparsified_mis import luby_round, sparsified_mis
+from repro.graph.generators import cycle_graph, gnp_random_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import is_independent_set, is_maximal_independent_set
+from repro.mpc.cluster import MPCCluster
+from repro.utils.rng import make_rng
+
+
+class TestLubyRound:
+    def test_winners_are_independent(self):
+        g = gnp_random_graph(60, 0.2, seed=1)
+        winners = luby_round(g, set(g.vertices()), make_rng(1))
+        assert is_independent_set(g, winners)
+
+    def test_isolated_vertices_always_win(self):
+        g = Graph(5, [(0, 1)])
+        winners = luby_round(g, set(g.vertices()), make_rng(2))
+        assert {2, 3, 4} <= winners
+
+    def test_single_active_vertex_wins(self):
+        g = star_graph(3)
+        winners = luby_round(g, {0}, make_rng(3))
+        assert winners == {0}
+
+
+class TestSparsifiedMIS:
+    def test_maximal_on_sparse_graph(self):
+        g = gnp_random_graph(200, 0.02, seed=4)
+        outcome = sparsified_mis(g, seed=4)
+        assert is_maximal_independent_set(g, outcome.mis)
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        outcome = sparsified_mis(g, seed=5)
+        assert is_maximal_independent_set(g, outcome.mis)
+
+    def test_rounds_are_logarithmic_in_luby_rounds(self):
+        g = gnp_random_graph(500, 0.01, seed=6)
+        outcome = sparsified_mis(g, seed=6)
+        # Compressed: charged rounds must be far below simulated rounds.
+        assert outcome.rounds_charged <= outcome.luby_rounds_simulated + 2
+
+    def test_cluster_accounting(self):
+        g = gnp_random_graph(100, 0.05, seed=7)
+        cluster = MPCCluster(2, words_per_machine=16 * 100)
+        outcome = sparsified_mis(g, seed=7, cluster=cluster)
+        assert cluster.rounds == outcome.rounds_charged
+        assert is_maximal_independent_set(g, outcome.mis)
+
+    def test_respects_active_subset(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        outcome = sparsified_mis(g, active={2, 3}, seed=8)
+        assert outcome.mis <= {2, 3}
+        assert len(outcome.mis & {2, 3}) == 1
+
+    def test_determinism(self):
+        g = gnp_random_graph(80, 0.1, seed=9)
+        assert sparsified_mis(g, seed=3).mis == sparsified_mis(g, seed=3).mis

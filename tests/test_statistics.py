@@ -1,0 +1,101 @@
+"""Unit tests for graph workload statistics."""
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.statistics import (
+    average_clustering,
+    clustering_coefficient,
+    component_size_distribution,
+    degree_histogram,
+    degree_statistics,
+    loglog_degree_bound,
+)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        stats = degree_statistics(cycle_graph(10))
+        assert stats.minimum == stats.maximum == 2
+        assert stats.mean == 2.0
+        assert stats.variance == 0.0
+        assert stats.isolated_vertices == 0
+
+    def test_star(self):
+        stats = degree_statistics(star_graph(9))
+        assert stats.maximum == 9
+        assert stats.minimum == 1
+        assert stats.median == 1
+        assert stats.skew_ratio > 4
+
+    def test_empty(self):
+        stats = degree_statistics(Graph(0))
+        assert stats.mean == 0.0
+        assert stats.skew_ratio == 0.0
+
+    def test_isolated_counted(self):
+        g = Graph(5, [(0, 1)])
+        assert degree_statistics(g).isolated_vertices == 3
+
+    def test_power_law_skew_exceeds_gnp(self):
+        """The generator families land in their intended regimes."""
+        ba = barabasi_albert(600, 3, seed=1)
+        er = gnp_random_graph(600, 6.0 / 599, seed=1)
+        assert degree_statistics(ba).skew_ratio > degree_statistics(er).skew_ratio
+
+
+class TestHistogram:
+    def test_histogram_sums_to_n(self):
+        g = gnp_random_graph(50, 0.1, seed=2)
+        histogram = degree_histogram(g)
+        assert sum(histogram.values()) == 50
+
+    def test_path_histogram(self):
+        assert degree_histogram(path_graph(4)) == {1: 2, 2: 2}
+
+
+class TestLogLogBound:
+    def test_small_degree_floor(self):
+        assert loglog_degree_bound(path_graph(3)) == 1.0
+
+    def test_monotone_in_degree(self):
+        small = loglog_degree_bound(star_graph(16))
+        large = loglog_degree_bound(star_graph(65536))
+        assert small < large
+        assert large == 4.0  # log2 log2 65536
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = complete_graph(3)
+        assert clustering_coefficient(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_path_has_no_triangles(self):
+        assert average_clustering(path_graph(6)) == 0.0
+
+    def test_leaf_coefficient_zero(self):
+        assert clustering_coefficient(star_graph(5), 1) == 0.0
+
+    def test_sampled_clustering_close_to_full(self):
+        g = gnp_random_graph(200, 0.1, seed=3)
+        full = average_clustering(g)
+        sampled = average_clustering(g, sample=100, seed=4)
+        assert abs(full - sampled) < 0.1
+
+
+class TestComponents:
+    def test_distribution(self):
+        g = Graph(7, [(0, 1), (1, 2), (3, 4)])
+        assert component_size_distribution(g) == [3, 2, 1, 1]
+
+    def test_connected(self):
+        assert component_size_distribution(cycle_graph(5)) == [5]

@@ -1,0 +1,129 @@
+"""Semantic tests on structured families with hand-checkable optima.
+
+Random-graph tests catch generic bugs; these catch *systematic* biases —
+an algorithm that quietly favors low-degree vertices, mishandles
+bipartite structure, or breaks on disconnected inputs will fail here
+while passing aggregate checks.
+"""
+
+import pytest
+
+from repro.baselines.blossom import maximum_matching_size
+from repro.core.integral import mpc_maximum_matching
+from repro.core.matching_mpc import mpc_fractional_matching
+from repro.core.mis_mpc import mis_mpc
+from repro.core.vertex_cover import mpc_vertex_cover
+from repro.graph.generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    is_matching,
+    is_maximal_independent_set,
+    is_vertex_cover,
+)
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """Disjoint union with shifted labels."""
+    total = sum(g.num_vertices for g in graphs)
+    union = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            union.add_edge(u + offset, v + offset)
+        offset += g.num_vertices
+    return union
+
+
+class TestCompleteBipartite:
+    def make(self, a: int, b: int) -> Graph:
+        g = Graph(a + b)
+        for u in range(a):
+            for v in range(a, a + b):
+                g.add_edge(u, v)
+        return g
+
+    def test_mis_takes_larger_side(self):
+        g = self.make(5, 20)
+        result = mis_mpc(g, seed=1)
+        assert is_maximal_independent_set(g, result.mis)
+        # Any MIS of K_{5,20} is one full side; sizes are 5 or 20.
+        assert len(result.mis) in (5, 20)
+
+    def test_matching_near_smaller_side(self):
+        g = self.make(8, 30)
+        result = mpc_maximum_matching(g, seed=2)
+        assert is_matching(g, result.matching)
+        assert len(result.matching) >= 8 / 2.2
+
+    def test_cover_close_to_smaller_side(self):
+        g = self.make(6, 40)
+        result = mpc_vertex_cover(g, seed=3)
+        assert is_vertex_cover(g, result.cover)
+        assert result.size <= 3 * 6  # optimum is 6; (2+eps) allows ~13
+
+
+class TestDisjointComponents:
+    def test_mis_spans_all_components(self):
+        g = disjoint_union(cycle_graph(5), star_graph(6), path_graph(4))
+        result = mis_mpc(g, seed=4)
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_matching_collects_from_all_components(self):
+        g = disjoint_union(*[complete_graph(4)] * 10)
+        result = mpc_maximum_matching(g, seed=5)
+        # Each K4 has a perfect matching of size 2; optimum 20.
+        assert len(result.matching) >= 20 / 2.2
+        assert is_matching(g, result.matching)
+
+    def test_fractional_matching_on_disjoint_edges(self):
+        g = disjoint_union(*[path_graph(2)] * 25)
+        result = mpc_fractional_matching(g, seed=6)
+        # 25 disjoint edges: maximum (fractional) matching is 25.
+        assert result.weight >= 25 / 2.5
+        assert is_vertex_cover(g, result.vertex_cover)
+
+
+class TestGridAndCaterpillar:
+    def test_grid_matching(self):
+        g = grid_graph(6, 6)  # 36 vertices, perfect matching of 18
+        result = mpc_maximum_matching(g, seed=7)
+        assert len(result.matching) >= 18 / 2.2
+
+    def test_caterpillar_cover_is_spine_like(self):
+        g = caterpillar(10, 3)
+        optimum = maximum_matching_size(g)
+        cover = mpc_vertex_cover(g, seed=8)
+        assert is_vertex_cover(g, cover.cover)
+        assert cover.size <= 3 * optimum + 2
+
+    def test_cycle_parities(self):
+        for n in (6, 7, 12, 13):
+            g = cycle_graph(n)
+            result = mpc_maximum_matching(g, seed=n)
+            assert len(result.matching) >= (n // 2) / 2.2
+            mis = mis_mpc(g, seed=n)
+            assert is_maximal_independent_set(g, mis.mis)
+
+
+class TestHighContrastDegrees:
+    def test_double_star(self):
+        """Two hubs joined by an edge, many leaves each: optimum matching
+        is 2 (hub-leaf + hub-leaf) or 1+...; cover optimum is 2 (hubs)."""
+        g = Graph(42)
+        g.add_edge(0, 1)
+        for leaf in range(2, 22):
+            g.add_edge(0, leaf)
+        for leaf in range(22, 42):
+            g.add_edge(1, leaf)
+        cover = mpc_vertex_cover(g, seed=9)
+        assert is_vertex_cover(g, cover.cover)
+        assert cover.size <= 8  # optimum 2, generous (2+eps) slack at n=42
+        matching = mpc_maximum_matching(g, seed=9)
+        assert 1 <= len(matching.matching) <= 2

@@ -1,0 +1,38 @@
+"""Unit tests for the w.h.p. audit harness."""
+
+import pytest
+
+from repro.analysis.whp_audit import AuditReport, audit, run_e14_whp_audit
+
+
+class TestAudit:
+    def test_counts_failures(self):
+        report = audit("parity", lambda seed: seed % 2 == 0, seeds=range(10))
+        assert report.trials == 10
+        assert report.failures == 5
+        assert report.failure_rate == 0.5
+        assert report.failing_seeds == [1, 3, 5, 7, 9]
+
+    def test_all_pass(self):
+        report = audit("always", lambda seed: True, seeds=range(5))
+        assert report.failures == 0
+        assert report.failure_rate == 0.0
+
+    def test_empty_seeds(self):
+        report = audit("none", lambda seed: False, seeds=[])
+        assert report.failure_rate == 0.0
+
+    def test_exceptions_propagate(self):
+        def boom(seed: int) -> bool:
+            raise RuntimeError("bug, not randomness")
+
+        with pytest.raises(RuntimeError):
+            audit("boom", boom, seeds=[1])
+
+
+class TestE14:
+    def test_invariants_never_fail_on_small_sweep(self):
+        rows = run_e14_whp_audit(n=96, trials=6)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["failures"] == 0, row
