@@ -1,0 +1,32 @@
+"""E15 — the task × backend matrix through the ``repro.api`` façade.
+
+Every registered ``(task, backend)`` pair runs on one shared workload via
+``solve_many``; the full RunReports are persisted as JSONL (the sweep
+format) and the summary table records rounds, validity, and wall time per
+backend — the head-to-head view E10 gives for a hand-picked set, here
+derived from the registry so new backends appear automatically.
+"""
+
+from repro.graph.generators import gnp_random_graph
+
+from conftest import facade_sweep
+
+
+def test_e15_backend_matrix(benchmark):
+    graph = gnp_random_graph(256, 16.0 / 255.0, seed=15)
+    rows = benchmark.pedantic(
+        facade_sweep,
+        args=(
+            "e15_backend_matrix",
+            "E15: task x backend matrix (n=256)",
+            ("mis", "fractional_matching", "matching", "vertex_cover"),
+            (graph,),
+        ),
+        kwargs={"backends": "all", "seeds": (15,)},
+        iterations=1,
+        rounds=1,
+    )
+    assert all(row["valid"] for row in rows)
+    # Every one of the four tasks ran on at least two backends.
+    for task in ("mis", "fractional_matching", "matching", "vertex_cover"):
+        assert sum(1 for row in rows if row["task"] == task) >= 2

@@ -4,14 +4,20 @@ Every benchmark regenerates one experiment from DESIGN.md's index: it runs
 the corresponding ``run_eXX`` harness function under ``pytest-benchmark``
 timing, prints the result table, and persists it under
 ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from disk.
+
+Cross-algorithm comparisons go through the :mod:`repro.api` façade:
+:func:`facade_sweep` runs a graphs × tasks × backends × seeds grid with
+:func:`repro.api.solve_many`, persists the full reports as JSONL next to
+the text table, and returns summary rows for timing.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
+from repro.api import solve_many, sweep
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -22,3 +28,27 @@ def report(name: str, title: str, rows: List[Dict[str, Any]]) -> None:
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+
+def facade_sweep(
+    name: str,
+    title: str,
+    tasks: Sequence[str],
+    graphs: Sequence[Any],
+    *,
+    backends: Any = "all",
+    seeds: Sequence[Optional[int]] = (1,),
+    configs: Sequence[Any] = (None,),
+) -> List[Dict[str, Any]]:
+    """Run a façade sweep, persist JSONL + table, return summary rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    jsonl_path = RESULTS_DIR / f"{name}.jsonl"
+    result = solve_many(
+        sweep(tasks, graphs, backends=backends, seeds=seeds, configs=configs),
+        jsonl_path=jsonl_path,
+    )
+    if result.failures:
+        raise RuntimeError(f"facade sweep {name!r} had failures: {result.failures}")
+    rows = result.rows()
+    report(name, title, rows)
+    return rows

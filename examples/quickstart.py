@@ -1,19 +1,12 @@
-"""Quickstart: the library's three headline algorithms on one graph.
+"""Quickstart: the library's headline algorithms through the façade.
+
+One call — ``solve(task, graph, backend=..., seed=...)`` — runs any task
+on any registered backend and returns a uniform, serializable RunReport.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    gnp_random_graph,
-    mis_mpc,
-    mpc_maximum_matching,
-    mpc_vertex_cover,
-)
-from repro.graph.properties import (
-    is_matching,
-    is_maximal_independent_set,
-    is_vertex_cover,
-)
+from repro import gnp_random_graph, solve
 
 
 def main() -> None:
@@ -22,34 +15,34 @@ def main() -> None:
     print(f"Input graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
     # Theorem 1.1 — maximal independent set in O(log log Δ) MPC rounds.
-    mis = mis_mpc(graph, seed=7)
+    mis = solve("mis", graph, seed=7)  # backend="auto" picks the paper's MPC
     print(
-        f"\nMIS (Thm 1.1):       {len(mis.mis):5d} vertices  "
-        f"in {mis.rounds} MPC rounds "
-        f"(valid: {is_maximal_independent_set(graph, mis.mis)})"
+        f"\nMIS (Thm 1.1):       {mis.size:5d} vertices  "
+        f"in {mis.rounds} MPC rounds (valid: {mis.valid})"
     )
 
     # Theorem 1.2 — (2+eps)-approximate maximum matching.
-    matching = mpc_maximum_matching(graph, seed=7)
+    matching = solve("matching", graph, seed=7)
     print(
-        f"Matching (Thm 1.2):  {len(matching.matching):5d} edges     "
-        f"in {matching.rounds} MPC rounds "
-        f"(valid: {is_matching(graph, matching.matching)})"
+        f"Matching (Thm 1.2):  {matching.size:5d} edges     "
+        f"in {matching.rounds} MPC rounds (valid: {matching.valid})"
     )
 
     # Theorem 1.2 — (2+eps)-approximate minimum vertex cover.
-    cover = mpc_vertex_cover(graph, seed=7)
+    cover = solve("vertex_cover", graph, seed=7)
     print(
         f"Vertex cover:        {cover.size:5d} vertices  "
-        f"in {cover.rounds} MPC rounds "
-        f"(valid: {is_vertex_cover(graph, cover.cover)})"
+        f"in {cover.rounds} MPC rounds (valid: {cover.valid})"
     )
 
     # The matching/cover duality sandwich: |M| <= |VC*| <= |cover|.
     print(
-        f"\nDuality check: matching {len(matching.matching)} "
+        f"\nDuality check: matching {matching.size} "
         f"<= cover {cover.size} (always true for valid outputs)"
     )
+
+    # Every report serializes; sweeps stream these as JSONL (solve_many).
+    print(f"\nReport snapshot: {mis.to_json()[:100]}...")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Monitoring-station placement via vertex cover.
+"""Monitoring-station placement via vertex cover, through the façade.
 
 Scenario: a communication network where every link must be observed by a
 monitoring station placed at one of its endpoints.  Minimum vertex cover
@@ -10,19 +10,16 @@ per instance, not just asymptotic.
 Run:  python examples/sensor_cover.py
 """
 
-from repro import MatchingConfig, gnp_random_graph, mpc_vertex_cover
-from repro.core.matching_mpc import mpc_fractional_matching
+from repro import gnp_random_graph, solve
 from repro.graph.generators import grid_graph
-from repro.graph.properties import is_vertex_cover
 
 
 def analyze(name: str, graph) -> None:
-    config = MatchingConfig(epsilon=0.1)
-    cover = mpc_vertex_cover(graph, config=config, seed=31)
-    fractional = mpc_fractional_matching(graph, config=config, seed=31)
-    assert is_vertex_cover(graph, cover.cover)
+    cover = solve("vertex_cover", graph, config={"epsilon": 0.1}, seed=31)
+    fractional = solve("fractional_matching", graph, config={"epsilon": 0.1}, seed=31)
+    assert cover.valid and fractional.valid
     # LP duality: any fractional matching's weight lower-bounds any cover.
-    lower_bound = fractional.weight
+    lower_bound = fractional.metrics["weight"]
     print(
         f"{name:>24}: {cover.size:5d} stations cover "
         f"{graph.num_edges:6d} links in {cover.rounds} rounds; "

@@ -12,4 +12,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.api.__main__:main",
+        ]
+    },
 )

@@ -19,6 +19,13 @@ Lemma 4.2 / Theorem 1.2 — matching and vertex cover::
 Corollaries 1.3 / 1.4::
 
     from repro import one_plus_eps_matching, mpc_weighted_matching
+
+Unified façade — every task on every backend through one entry point
+(see :mod:`repro.api` and the top-level README for the full matrix)::
+
+    from repro import solve, solve_many
+
+    report = solve("mis", graph, backend="mpc", seed=7)
 """
 
 from repro.graph import (
@@ -49,10 +56,17 @@ from repro.core import (
     mpc_weighted_matching,
 )
 from repro.congested_clique import CCMISResult, congested_clique_mis
+from repro.api import RunReport, solve, solve_many, sweep
+from repro.mpc.spec import ClusterSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "solve",
+    "solve_many",
+    "sweep",
+    "RunReport",
+    "ClusterSpec",
     "Graph",
     "WeightedGraph",
     "barabasi_albert",

@@ -4,6 +4,12 @@ Each function returns a list of row dicts (one per parameter point) that
 the benchmarks print via :func:`repro.analysis.tables.format_table` and
 that EXPERIMENTS.md records.  Sizes default to values that finish in
 seconds; benchmarks may pass larger sweeps.
+
+Paper-algorithm runs go through :func:`repro.api.solve` — one dispatch
+path for every task×backend pair, with backend measurements preserved in
+``RunReport.extras``.  Experiments probing *internals* the façade does not
+expose (coupled threshold oracles, rounding details, residual-degree
+curves) still call the algorithm modules directly.
 """
 
 from __future__ import annotations
@@ -13,27 +19,24 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.concentration import coupled_run
 from repro.analysis.metrics import approximation_ratio, loglog_slope
+from repro.api import solve
 from repro.baselines.blossom import maximum_matching
 from repro.baselines.exact import brute_force_maximum_weight_matching
 from repro.baselines.filtering import filtering_maximal_matching
 from repro.baselines.greedy import greedy_maximal_matching
 from repro.baselines.israeli_itai import israeli_itai_matching
 from repro.baselines.luby import luby_mis
-from repro.congested_clique.mis import congested_clique_mis
-from repro.core.augmenting import one_plus_eps_matching
 from repro.core.central import central_fractional_matching
-from repro.core.config import MatchingConfig, MISConfig
-from repro.core.integral import mpc_maximum_matching
+from repro.core.config import MatchingConfig
 from repro.core.matching_mpc import mpc_fractional_matching
 from repro.core.rounding import round_fractional_matching_detailed
-from repro.core.vertex_cover import mpc_vertex_cover
-from repro.core.weighted_matching import mpc_weighted_matching
 from repro.graph.generators import (
     gnp_random_graph,
     planted_matching_graph,
     random_weighted_graph,
 )
 from repro.graph.graph import Graph
+from repro.mpc.spec import ClusterSpec
 
 Row = Dict[str, Any]
 
@@ -53,12 +56,10 @@ def run_e01_mis_rounds(
     seed: int = 1,
 ) -> List[Row]:
     """E1: MIS rounds vs n — paper's O(log log Δ) against Luby's O(log n)."""
-    from repro.core.mis_mpc import mis_mpc
-
     rows: List[Row] = []
     for n in sizes:
         graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
-        paper = mis_mpc(graph, seed=seed)
+        paper = solve("mis", graph, backend="mpc", seed=seed)
         baseline = luby_mis(graph, seed=seed)
         rows.append(
             {
@@ -67,7 +68,7 @@ def run_e01_mis_rounds(
                 "loglog_n": round(math.log2(max(2.0, math.log2(n))), 2),
                 "paper_rounds": paper.rounds,
                 "luby_rounds": baseline.rounds,
-                "prefix_phases": paper.prefix_phases,
+                "prefix_phases": paper.extras["prefix_phases"],
             }
         )
     return rows
@@ -79,19 +80,18 @@ def run_e02_mis_memory(
     seed: int = 2,
 ) -> List[Row]:
     """E2: max edges shipped to one machine, normalized by n (Lemma 3.1)."""
-    from repro.core.mis_mpc import mis_mpc
-
     rows: List[Row] = []
     for n in sizes:
         graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
-        result = mis_mpc(graph, seed=seed)
+        result = solve("mis", graph, backend="mpc", seed=seed)
+        shipped = result.extras["max_shipped_edges"]
         rows.append(
             {
                 "n": n,
                 "edges": graph.num_edges,
-                "max_shipped_edges": result.max_shipped_edges,
-                "shipped_over_n": result.max_shipped_edges / n,
-                "peak_words_over_n": result.peak_words / n,
+                "max_shipped_edges": shipped,
+                "shipped_over_n": shipped / n,
+                "peak_words_over_n": result.max_machine_words / n,
             }
         )
     return rows
@@ -137,24 +137,30 @@ def run_e04_mpc_matching(
 ) -> List[Row]:
     """E4: MPC-Simulation phases/rounds and fractional quality (Lemma 4.2)."""
     rows: List[Row] = []
-    config = MatchingConfig(epsilon=epsilon)
     for n in sizes:
         graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
-        result = mpc_fractional_matching(graph, config=config, seed=seed)
+        result = solve(
+            "fractional_matching",
+            graph,
+            backend="mpc",
+            config={"epsilon": epsilon},
+            seed=seed,
+        )
         optimum = len(maximum_matching(graph))
+        weight = result.metrics["weight"]
         rows.append(
             {
                 "n": n,
-                "phases": result.phases,
+                "phases": result.extras["phases"],
                 "rounds": result.rounds,
-                "iterations": result.iterations,
-                "fractional_weight": round(result.weight, 2),
+                "iterations": result.extras["iterations"],
+                "fractional_weight": round(weight, 2),
                 "max_matching": optimum,
                 "weight_ratio": round(
-                    approximation_ratio(result.weight, float(optimum)), 3
+                    approximation_ratio(weight, float(optimum)), 3
                 ),
                 "cover_over_matching": round(
-                    len(result.vertex_cover) / max(1, optimum), 3
+                    result.extras["cover_size"] / max(1, optimum), 3
                 ),
             }
         )
@@ -169,16 +175,22 @@ def run_e05_matching_memory(
 ) -> List[Row]:
     """E5: per-machine induced subgraph size during phases (Lemma 4.7)."""
     rows: List[Row] = []
-    config = MatchingConfig(epsilon=epsilon)
     for n in sizes:
         graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
-        result = mpc_fractional_matching(graph, config=config, seed=seed)
+        result = solve(
+            "fractional_matching",
+            graph,
+            backend="mpc",
+            config={"epsilon": epsilon},
+            seed=seed,
+        )
+        machine_edges = result.extras["max_machine_edges"]
         rows.append(
             {
                 "n": n,
                 "edges": graph.num_edges,
-                "max_machine_edges": result.max_machine_edges,
-                "machine_edges_over_n": result.max_machine_edges / n,
+                "max_machine_edges": machine_edges,
+                "machine_edges_over_n": machine_edges / n,
             }
         )
     return rows
@@ -230,21 +242,20 @@ def run_e07_integral(
         optimum = len(maximum_matching(graph))
         for eps in epsilons:
             config = MatchingConfig(epsilon=eps)
-            result = mpc_maximum_matching(graph, config=config, seed=seed)
-            cover = mpc_vertex_cover(graph, config=config, seed=seed)
+            result = solve("matching", graph, config=config, seed=seed)
+            cover = solve("vertex_cover", graph, config=config, seed=seed)
             rows.append(
                 {
                     "n": n,
                     "epsilon": eps,
-                    "matching": len(result.matching),
+                    "matching": result.size,
                     "max_matching": optimum,
                     "ratio": round(
-                        approximation_ratio(len(result.matching), float(optimum)),
-                        3,
+                        approximation_ratio(result.size, float(optimum)), 3
                     ),
                     "guarantee": round(2.0 + eps, 2),
                     "rounds": result.rounds,
-                    "passes": result.passes,
+                    "passes": result.extras["passes"],
                     "cover_size": cover.size,
                     "cover_over_matching": round(cover.size / max(1, optimum), 3),
                 }
@@ -263,20 +274,22 @@ def run_e08_one_plus_eps(
     optimum = len(maximum_matching(graph))
     rows: List[Row] = []
     for eps in epsilons:
-        result = one_plus_eps_matching(graph, epsilon=eps, seed=seed)
+        result = solve(
+            "one_plus_eps_matching", graph, config={"epsilon": eps}, seed=seed
+        )
         rows.append(
             {
                 "n": n,
                 "epsilon": eps,
-                "matching": len(result.matching),
+                "matching": result.size,
                 "max_matching": optimum,
                 "ratio": round(
-                    approximation_ratio(len(result.matching), float(optimum)), 4
+                    approximation_ratio(result.size, float(optimum)), 4
                 ),
                 "guarantee": round(1.0 + eps, 2),
-                "max_path_length": result.max_path_length,
+                "max_path_length": result.extras["max_path_length"],
                 "rounds": result.rounds,
-                "sweeps": result.sweeps,
+                "sweeps": result.extras["sweeps"],
             }
         )
     return rows
@@ -299,19 +312,20 @@ def run_e09_weighted(
         weighted = random_weighted_graph(
             n, _avg_degree_p(n, avg_degree), distribution="zipf", seed=seed
         )
-        result = mpc_weighted_matching(weighted, epsilon=epsilon, seed=seed)
+        result = solve(
+            "weighted_matching", weighted, config={"epsilon": epsilon}, seed=seed
+        )
+        weight = result.metrics["weight"]
         row: Row = {
             "n": n,
-            "classes": result.classes,
-            "matching_weight": round(result.weight, 3),
+            "classes": result.extras["classes"],
+            "matching_weight": round(weight, 3),
             "rounds": result.rounds,
         }
         if weighted.num_edges <= 60:
             _, opt_weight = brute_force_maximum_weight_matching(weighted)
             row["optimal_weight"] = round(opt_weight, 3)
-            row["ratio"] = round(
-                approximation_ratio(result.weight, opt_weight), 3
-            )
+            row["ratio"] = round(approximation_ratio(weight, opt_weight), 3)
         rows.append(row)
     return rows
 
@@ -322,16 +336,14 @@ def run_e10_baselines(
     seed: int = 10,
 ) -> List[Row]:
     """E10: head-to-head rounds/quality table across algorithms."""
-    from repro.core.mis_mpc import mis_mpc
-
     graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
     optimum = len(maximum_matching(graph))
     config = MatchingConfig()
-    words = config.memory_factor * n
+    words = ClusterSpec.from_graph(graph, config.memory_factor).words_per_machine
 
-    paper_mis = mis_mpc(graph, seed=seed)
+    paper_mis = solve("mis", graph, backend="mpc", seed=seed)
     luby = luby_mis(graph, seed=seed)
-    paper_matching = mpc_maximum_matching(graph, config=config, seed=seed)
+    paper_matching = solve("matching", graph, config=config, seed=seed)
     filtering = filtering_maximal_matching(graph, words_per_machine=words, seed=seed)
     israeli = israeli_itai_matching(graph, seed=seed)
     greedy = greedy_maximal_matching(graph, seed=seed)
@@ -340,7 +352,7 @@ def run_e10_baselines(
         {
             "algorithm": "paper MIS (Thm 1.1)",
             "rounds": paper_mis.rounds,
-            "output_size": len(paper_mis.mis),
+            "output_size": paper_mis.size,
             "quality": "maximal independent set",
         },
         {
@@ -352,8 +364,8 @@ def run_e10_baselines(
         {
             "algorithm": "paper matching (Thm 1.2)",
             "rounds": paper_matching.rounds,
-            "output_size": len(paper_matching.matching),
-            "quality": f"ratio {approximation_ratio(len(paper_matching.matching), float(optimum)):.3f}",
+            "output_size": paper_matching.size,
+            "quality": f"ratio {approximation_ratio(paper_matching.size, float(optimum)):.3f}",
         },
         {
             "algorithm": "LMSV11 filtering",
@@ -411,14 +423,15 @@ def run_e12_congested_clique(
     rows: List[Row] = []
     for n in sizes:
         graph = gnp_random_graph(n, _avg_degree_p(n, avg_degree), seed=seed)
-        result = congested_clique_mis(graph, seed=seed)
+        result = solve("mis", graph, backend="congested_clique", seed=seed)
+        routed = result.extras["max_routed_messages"]
         rows.append(
             {
                 "n": n,
                 "rounds": result.rounds,
-                "prefix_phases": result.prefix_phases,
-                "max_routed": result.max_routed_messages,
-                "routed_over_n": result.max_routed_messages / n,
+                "prefix_phases": result.extras["prefix_phases"],
+                "max_routed": routed,
+                "routed_over_n": routed / n,
             }
         )
     return rows

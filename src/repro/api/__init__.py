@@ -1,0 +1,60 @@
+"""``repro.api`` — the unified solver façade.
+
+One entry point for every problem the library solves, on every execution
+model it simulates::
+
+    from repro.api import solve
+
+    report = solve("mis", graph, backend="mpc", seed=7)
+    report.valid, report.rounds, report.to_json()
+
+Tasks (:data:`TASKS`): ``mis``, ``fractional_matching``, ``matching``,
+``vertex_cover``, ``one_plus_eps_matching``, ``weighted_matching``.
+Backends (:data:`BACKENDS`): ``mpc`` (the paper's algorithms),
+``congested_clique``, ``pregel`` (vertex programs), ``central``
+(centralized references / exact), ``greedy`` (sequential baselines).
+``registry.pairs()`` lists what is wired; ``backend="auto"`` picks the
+paper's MPC algorithm wherever one exists.
+
+Sweeps go through :func:`solve_many` / :func:`sweep` (graphs × backends ×
+seeds, optional process pool, streaming JSONL), and ``python -m repro.api``
+exposes both from the shell.  Cluster sizing for every backend flows
+through :class:`ClusterSpec`, the single home of the
+memory-factor → machines/words derivation.
+"""
+
+from repro.api.facade import solve
+from repro.api.batch import BatchResult, RunSpec, read_jsonl, solve_many, sweep
+from repro.api.registry import (
+    BACKENDS,
+    TASKS,
+    SolverEntry,
+    SolverOutput,
+    SolverRegistry,
+    UnknownSolverError,
+    registry,
+)
+from repro.api.report import RunReport, canonical_solution
+from repro.mpc.spec import ClusterSpec
+
+# Importing the adapters module populates the global registry.
+import repro.api.adapters  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "sweep",
+    "read_jsonl",
+    "BatchResult",
+    "RunSpec",
+    "RunReport",
+    "canonical_solution",
+    "SolverRegistry",
+    "SolverEntry",
+    "SolverOutput",
+    "UnknownSolverError",
+    "registry",
+    "TASKS",
+    "BACKENDS",
+    "ClusterSpec",
+]

@@ -1,0 +1,244 @@
+"""``solve_many()`` — the sweep/batch runner over the façade.
+
+A sweep is a list of :class:`RunSpec` (task, backend, graph, seed, config,
+budget).  :func:`sweep` builds the cross product the experiment harness
+and benchmarks need (graphs × tasks × backends × seeds × configs);
+:func:`solve_many` executes the specs serially or on a ``multiprocessing``
+pool and optionally streams each finished :class:`RunReport` to a JSONL
+file as it completes — the format later analysis (and the ``repro`` CLI)
+reads back with :meth:`RunReport.from_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from repro.api.facade import GraphLike, solve
+from repro.api.report import RunReport
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned façade invocation.
+
+    ``label`` travels into the report's ``extras`` (as ``spec_label``) so
+    sweep rows stay identifiable after serialization.
+    """
+
+    task: str
+    graph: GraphLike
+    backend: str = "auto"
+    seed: Optional[int] = None
+    config: Any = None
+    budget: Optional[float] = None
+    label: str = ""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :func:`solve_many`."""
+
+    reports: List[RunReport] = field(default_factory=list)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Summary rows for table formatting."""
+        return [report.summary_row() for report in self.reports]
+
+
+def sweep(
+    tasks: Sequence[str],
+    graphs: Sequence[GraphLike],
+    *,
+    backends: Union[str, Sequence[str]] = "auto",
+    seeds: Sequence[Optional[int]] = (None,),
+    configs: Sequence[Any] = (None,),
+    budget: Optional[float] = None,
+) -> List[RunSpec]:
+    """The cross product ``graphs × tasks × backends × seeds × configs``.
+
+    ``backends`` may be ``"auto"``, one backend name, a sequence of names,
+    or ``"all"`` (every backend registered for each task).
+    """
+    from repro.api.registry import registry
+
+    specs: List[RunSpec] = []
+    for graph_index, graph in enumerate(graphs):
+        for task in tasks:
+            if backends == "all":
+                chosen: Sequence[str] = registry.backends(task)
+            elif isinstance(backends, str):
+                chosen = (backends,)
+            else:
+                chosen = backends
+            for backend in chosen:
+                for seed in seeds:
+                    for config in configs:
+                        specs.append(
+                            RunSpec(
+                                task=task,
+                                graph=graph,
+                                backend=backend,
+                                seed=seed,
+                                config=config,
+                                budget=budget,
+                                label=f"g{graph_index}",
+                            )
+                        )
+    return specs
+
+
+def _run_spec(spec: RunSpec) -> RunReport:
+    """Execute one spec (module-level so pools can pickle it)."""
+    report = solve(
+        spec.task,
+        spec.graph,
+        backend=spec.backend,
+        config=spec.config,
+        seed=spec.seed,
+        budget=spec.budget,
+    )
+    if spec.label:
+        report = dataclasses.replace(
+            report, extras={**report.extras, "spec_label": spec.label}
+        )
+    return report
+
+
+def _run_indexed(indexed_spec):
+    """Pool worker: never raises, so one failure cannot poison the batch.
+
+    Returns ``(index, report, None)`` or ``(index, None, error_message)``.
+    """
+    index, spec = indexed_spec
+    try:
+        return index, _run_spec(spec), None
+    except Exception as error:
+        return index, None, f"{type(error).__name__}: {error}"
+
+
+def solve_many(
+    specs: Iterable[RunSpec],
+    *,
+    processes: Optional[int] = None,
+    jsonl_path: Optional[PathLike] = None,
+    append: bool = False,
+    on_result: Optional[Callable[[RunReport], None]] = None,
+    raise_on_error: bool = False,
+) -> BatchResult:
+    """Run every spec, optionally in parallel, streaming JSONL output.
+
+    Parameters
+    ----------
+    specs:
+        The planned runs (see :func:`sweep` for the cross-product helper).
+    processes:
+        ``None``/``0``/``1`` runs serially in-process; ``>= 2`` uses a
+        ``multiprocessing.Pool`` of that size (graphs and configs must be
+        picklable, which every library type is).
+    jsonl_path:
+        When given, each finished report is written to this file as one
+        JSON line *as it completes*, so long sweeps are inspectable
+        mid-flight.  On the pool path lines land in completion order;
+        ``BatchResult.reports`` always keeps spec order.
+    append:
+        ``False`` (default) truncates ``jsonl_path`` so the file holds
+        exactly this sweep; ``True`` appends, for resuming/accumulating
+        across invocations.
+    on_result:
+        Optional callback invoked with each finished report (progress
+        bars, live tables).
+    raise_on_error:
+        ``False`` (default) records per-spec failures in
+        ``BatchResult.failures`` and keeps going; ``True`` re-raises the
+        first error.
+    """
+    spec_list = list(specs)
+    result = BatchResult()
+    started = time.perf_counter()
+
+    stream: Optional[IO[str]] = None
+    if jsonl_path is not None:
+        stream = open(jsonl_path, "a" if append else "w", encoding="utf-8")
+
+    def consume(report: RunReport) -> None:
+        if stream is not None:
+            stream.write(report.to_json() + "\n")
+            stream.flush()
+        if on_result is not None:
+            on_result(report)
+
+    def record_failure(spec: RunSpec, message: str) -> None:
+        if raise_on_error:
+            raise RuntimeError(
+                f"spec failed (task={spec.task!r}, backend={spec.backend!r}, "
+                f"seed={spec.seed!r}): {message}"
+            )
+        result.failures.append(
+            {
+                "task": spec.task,
+                "backend": spec.backend,
+                "seed": spec.seed,
+                "label": spec.label,
+                "error": message,
+            }
+        )
+
+    try:
+        if processes is not None and processes >= 2:
+            import multiprocessing
+
+            finished: Dict[int, RunReport] = {}
+            with multiprocessing.Pool(processes) as pool:
+                # imap_unordered streams each report the moment its worker
+                # finishes — a slow head-of-line spec cannot delay the
+                # JSONL/on_result output of the fast ones behind it.
+                for index, report, error in pool.imap_unordered(
+                    _run_indexed, list(enumerate(spec_list))
+                ):
+                    if error is not None:
+                        record_failure(spec_list[index], error)
+                    else:
+                        finished[index] = report
+                        consume(report)
+            result.reports.extend(
+                finished[index] for index in sorted(finished)
+            )
+        else:
+            for spec in spec_list:
+                try:
+                    report = _run_spec(spec)
+                except Exception as error:
+                    if raise_on_error:
+                        raise
+                    record_failure(spec, f"{type(error).__name__}: {error}")
+                else:
+                    result.reports.append(report)
+                    consume(report)
+    finally:
+        if stream is not None:
+            stream.close()
+
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+def read_jsonl(path: PathLike) -> List[RunReport]:
+    """Load every report from a JSONL file written by :func:`solve_many`."""
+    reports: List[RunReport] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                reports.append(RunReport.from_json(line))
+    return reports

@@ -1,0 +1,192 @@
+"""``solve()`` — one entry point for every task × backend pair.
+
+The façade handles the plumbing every scenario used to re-wire by hand:
+config resolution (``None`` → the backend's default dataclass, ``dict`` →
+constructed, dataclass → used as-is), the optional memory ``budget``
+override, seed threading, timing, ground-truth quality metrics, and the
+uniform :class:`~repro.api.report.RunReport` output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.api.registry import SolverEntry, registry
+from repro.api.report import (
+    EDGE_SET,
+    FRACTIONAL,
+    VERTEX_SET,
+    RunReport,
+    canonical_solution,
+)
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    is_matching,
+    is_maximal_independent_set,
+    is_valid_fractional_matching,
+    is_vertex_cover,
+)
+from repro.graph.weighted import WeightedGraph
+from repro.utils.trace import Trace
+
+GraphLike = Union[Graph, WeightedGraph]
+
+
+def solve(
+    task: str,
+    graph: GraphLike,
+    *,
+    backend: str = "auto",
+    config: Any = None,
+    seed: Optional[int] = None,
+    budget: Optional[float] = None,
+    trace: Optional[Trace] = None,
+) -> RunReport:
+    """Solve ``task`` on ``graph`` with the chosen ``backend``.
+
+    Parameters
+    ----------
+    task:
+        One of :data:`repro.api.TASKS` (``"mis"``, ``"matching"``, ...).
+    graph:
+        A :class:`Graph`; ``"weighted_matching"`` takes a
+        :class:`WeightedGraph` (a plain graph is wrapped with unit
+        weights).  Weighted inputs to unweighted tasks run on their
+        ``structure``.
+    backend:
+        A backend name or ``"auto"`` (the task's highest-priority backend
+        — the paper's MPC algorithm wherever one exists).
+    config:
+        ``None`` (backend default), a config dataclass, or a dict of
+        field overrides for the backend's config type.
+    seed:
+        Explicit integer seed for reproducibility (``None`` = the
+        library's deterministic default).  Unlike the algorithm modules,
+        the façade rejects ``random.Random`` instances — the report's
+        ``seed`` field must be able to reproduce the run.
+    budget:
+        Optional per-machine memory budget in units of ``n`` words;
+        overrides the config's ``memory_factor`` (the knob every sizing
+        decision flows through via :class:`~repro.mpc.spec.ClusterSpec`).
+        Backends without a memory model (``greedy``, ``pregel``
+        baselines, exact solvers) ignore it, so sweep-wide budgets work
+        with ``backends="all"``.
+    trace:
+        Optional :class:`Trace` receiving the backend's instrumentation.
+
+    Returns
+    -------
+    RunReport
+        Frozen, serializable; ``report.valid`` reflects the ground-truth
+        validator for the task.
+    """
+    if seed is not None and not isinstance(seed, int):
+        raise TypeError(
+            f"solve() takes an int seed (got {type(seed).__name__}) so the "
+            "report's seed field reproduces the run"
+        )
+    entry = registry.resolve(task, backend)
+    prepared = _prepare_graph(entry, graph)
+    resolved_config = _resolve_config(entry, config, budget)
+
+    started = time.perf_counter()
+    output = entry.fn(prepared, config=resolved_config, seed=seed, trace=trace)
+    elapsed = time.perf_counter() - started
+
+    solution = canonical_solution(entry.solution_kind, output.solution)
+    structure = prepared.structure if isinstance(prepared, WeightedGraph) else prepared
+    metrics = _quality_metrics(entry, prepared, structure, solution)
+
+    return RunReport(
+        task=entry.task,
+        backend=entry.backend,
+        n=structure.num_vertices,
+        num_edges=structure.num_edges,
+        solution_kind=entry.solution_kind,
+        solution=solution,
+        metrics=metrics,
+        rounds=output.rounds,
+        max_machine_words=output.max_machine_words,
+        seed=seed,
+        config=_config_snapshot(resolved_config),
+        wall_time_s=elapsed,
+        extras=dict(output.extras),
+    )
+
+
+def _prepare_graph(entry: SolverEntry, graph: GraphLike) -> GraphLike:
+    """Match the input graph type to what the backend expects."""
+    if entry.weighted:
+        if isinstance(graph, WeightedGraph):
+            return graph
+        return WeightedGraph(
+            graph.num_vertices, ((u, v, 1.0) for u, v in graph.edges())
+        )
+    if isinstance(graph, WeightedGraph):
+        return graph.structure
+    return graph
+
+
+def _resolve_config(entry: SolverEntry, config: Any, budget: Optional[float]) -> Any:
+    """Normalize ``config`` to the backend's config dataclass (or None)."""
+    if budget is not None and budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    if entry.config_factory is None:
+        # Loose overrides (dicts, budget) are sweep-wide hints: a backend
+        # with no knobs ignores them so ``backends="all"`` sweeps work.  A
+        # typed config dataclass is targeted, so mis-routing it raises.
+        if config is not None and not isinstance(config, dict):
+            raise TypeError(
+                f"backend {entry.backend!r} for task {entry.task!r} takes no config"
+            )
+        return None
+    if config is None:
+        resolved = entry.config_factory()
+    elif isinstance(config, dict):
+        resolved = entry.config_factory(**config)
+    else:
+        resolved = config
+    if budget is not None:
+        if not hasattr(resolved, "memory_factor"):
+            raise TypeError(
+                f"backend {entry.backend!r} config has no memory budget to override"
+            )
+        resolved = dataclasses.replace(resolved, memory_factor=float(budget))
+    return resolved
+
+
+def _config_snapshot(config: Any) -> Dict[str, Any]:
+    """A JSON-ready snapshot of the resolved config."""
+    if config is None:
+        return {}
+    snapshot = dataclasses.asdict(config)
+    snapshot["__type__"] = type(config).__name__
+    return snapshot
+
+
+def _quality_metrics(
+    entry: SolverEntry,
+    prepared: GraphLike,
+    structure: Graph,
+    solution: Any,
+) -> Dict[str, Any]:
+    """Ground-truth validity and size/weight metrics for the solution."""
+    metrics: Dict[str, Any] = {"size": len(solution)}
+    if entry.solution_kind == VERTEX_SET:
+        chosen = set(solution)
+        if entry.task == "mis":
+            metrics["valid"] = is_maximal_independent_set(structure, chosen)
+        else:
+            metrics["valid"] = is_vertex_cover(structure, chosen)
+    elif entry.solution_kind == EDGE_SET:
+        edges = [(u, v) for u, v in solution]
+        metrics["valid"] = is_matching(structure, edges)
+        if isinstance(prepared, WeightedGraph):
+            metrics["weight"] = prepared.matching_weight(edges)
+    elif entry.solution_kind == FRACTIONAL:
+        weights = {(u, v): x for u, v, x in solution}
+        metrics["valid"] = is_valid_fractional_matching(structure, weights)
+        metrics["weight"] = sum(weights.values())
+    return metrics

@@ -29,6 +29,7 @@ from repro.core.matching_mpc import mpc_fractional_matching
 from repro.core.rounding import round_fractional_matching
 from repro.graph.graph import Edge, Graph
 from repro.graph.properties import matching_vertices
+from repro.mpc.spec import ClusterSpec
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 
@@ -117,7 +118,9 @@ def mpc_maximum_matching(
     # maximal matching finishes it (maximal => 2-approximate on the residual).
     cleanup = filtering_maximal_matching(
         residual,
-        words_per_machine=max(64, int(config.memory_factor * graph.num_vertices)),
+        words_per_machine=ClusterSpec.from_graph(
+            graph, config.memory_factor
+        ).words_per_machine,
         seed=rng.getrandbits(64),
     )
     matching |= cleanup.matching

@@ -32,6 +32,7 @@ from repro.core.fractional import FractionalMatching
 from repro.core.thresholds import ThresholdOracle
 from repro.graph.graph import Edge, Graph
 from repro.mpc.cluster import Message, MPCCluster
+from repro.mpc.spec import ClusterSpec
 from repro.mpc.words import WORDS_PER_FLOAT, edge_words, id_words
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
@@ -124,10 +125,8 @@ def mpc_fractional_matching(
     growth = 1.0 / (1.0 - epsilon)
     w0 = (1.0 - 2.0 * epsilon) / n
 
-    words_per_machine = max(int(config.memory_factor * n), 64)
-    cluster = MPCCluster(
-        max(2, int(math.isqrt(n)) + 1), words_per_machine, trace=trace
-    )
+    spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="sqrt")
+    cluster = spec.build_cluster(trace=trace)
 
     surviving: Set[int] = set(range(n))  # the paper's V'
     freeze_iteration: Dict[int, int] = {}

@@ -30,8 +30,8 @@ from repro.core.config import MISConfig
 from repro.core.greedy_mis import greedy_mis_on_prefix
 from repro.core.sparsified_mis import sparsified_mis
 from repro.graph.graph import Graph
-from repro.mpc.cluster import MPCCluster
 from repro.mpc.primitives import broadcast_vertex_set
+from repro.mpc.spec import ClusterSpec
 from repro.mpc.words import edge_words
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
@@ -111,10 +111,8 @@ def mis_mpc(
     if n == 0:
         return MISResult(mis=set(), rounds=0, prefix_phases=0, max_shipped_edges=0)
 
-    words_per_machine = max(int(config.memory_factor * n), 64)
-    total_words = edge_words(graph.num_edges) + n
-    num_machines = max(2, -(-total_words // words_per_machine) + 1)
-    cluster = MPCCluster(num_machines, words_per_machine, trace=trace)
+    spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="fit")
+    cluster = spec.build_cluster(trace=trace)
 
     # Shared random permutation: rank[v] in [0, n), all distinct.
     permutation = list(range(n))

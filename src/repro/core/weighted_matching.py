@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.baselines.filtering import filtering_maximal_matching
 from repro.graph.graph import Edge, Graph, canonical_edge
 from repro.graph.weighted import WeightedGraph
+from repro.mpc.spec import ClusterSpec
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 from repro.utils.validation import require_epsilon
@@ -93,7 +94,9 @@ def mpc_weighted_matching(
         class_graph = Graph(n, available)
         outcome = filtering_maximal_matching(
             class_graph,
-            words_per_machine=max(64, int(memory_factor * n)),
+            words_per_machine=ClusterSpec.from_graph(
+                graph, memory_factor
+            ).words_per_machine,
             seed=rng.getrandbits(64),
         )
         rounds += outcome.rounds

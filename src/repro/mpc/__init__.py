@@ -22,8 +22,10 @@ from repro.mpc.primitives import partition_vertices
 from repro.mpc.ball import ball_gather_rounds, gather_balls
 from repro.mpc.engine import EngineResult, PregelEngine, VertexContext
 from repro.mpc.sort import mpc_prefix_sums, mpc_sort
+from repro.mpc.spec import ClusterSpec
 
 __all__ = [
+    "ClusterSpec",
     "EngineResult",
     "PregelEngine",
     "VertexContext",

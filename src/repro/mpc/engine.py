@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.graph import Graph
 from repro.mpc.cluster import Message, MPCCluster
+from repro.mpc.spec import ClusterSpec
 from repro.utils.rng import RngStream, SeedLike, make_rng
 
 # Word cost of one vertex-to-vertex payload (destination id + one value).
@@ -91,9 +92,9 @@ class PregelEngine:
         seed: SeedLike = None,
     ) -> None:
         self._graph = graph
-        n = max(1, graph.num_vertices)
-        self._words = words_per_machine if words_per_machine else 8 * n
-        machines = num_machines if num_machines else max(2, int(n**0.5) + 1)
+        spec = ClusterSpec.from_graph(graph, machines="sqrt")
+        self._words = words_per_machine if words_per_machine else spec.words_per_machine
+        machines = num_machines if num_machines else spec.num_machines
         self._cluster = MPCCluster(machines, self._words)
         rng = make_rng(seed)
         self._owner = {
@@ -123,11 +124,14 @@ class PregelEngine:
             v: (initial_state(v) if initial_state else {})
             for v in graph.vertices()
         }
-        halted: Dict[int, bool] = {v: False for v in graph.vertices()}
         inboxes: Dict[int, List[Any]] = {}
         neighbor_cache: Dict[int, Tuple[int, ...]] = {
             v: tuple(sorted(graph.neighbors_view(v))) for v in graph.vertices()
         }
+        # Non-halted vertices, maintained incrementally: a full
+        # ``graph.vertices()`` scan per superstep made late supersteps (few
+        # live vertices, large n) cost O(n) instead of O(active).
+        live: set = set(graph.vertices())
 
         superstep = 0
         max_words = 0
@@ -136,11 +140,8 @@ class PregelEngine:
                 raise RuntimeError(
                     f"vertex program did not quiesce within {max_supersteps} supersteps"
                 )
-            active = [
-                v
-                for v in graph.vertices()
-                if not halted[v] or v in inboxes
-            ]
+            # A halted vertex is reactivated by pending mail.
+            active = sorted(live.union(inboxes))
             if not active:
                 break
             pending: Dict[int, List[Any]] = {}
@@ -154,7 +155,10 @@ class PregelEngine:
                     rng_stream=self._stream,
                 )
                 compute(context, inboxes.get(v, []))
-                halted[v] = context._halted
+                if context._halted:
+                    live.discard(v)
+                else:
+                    live.add(v)
                 for destination, payload in context._outbox:
                     pending.setdefault(destination, []).append(payload)
                     machine_words[self._owner[destination]] = (
