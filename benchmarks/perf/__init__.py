@@ -1,0 +1,10 @@
+"""Microbenchmark + end-to-end perf harness for the vectorized hot paths.
+
+``bench_kernels.py`` times every CSR kernel against its set-based
+:class:`~repro.graph.graph.Graph` equivalent on a graph-size ladder and
+emits ``BENCH_kernels.json``; ``bench_e2e.py`` times whole façade runs per
+``task × backend`` pair and emits ``BENCH_e2e.json``.  Both files are
+committed so the perf trajectory is tracked in-repo, and CI replays the
+small rung of the kernel suite against the committed baseline (failing on
+a >2x regression).  See PERFORMANCE.md for how to run the suite.
+"""

@@ -1,0 +1,93 @@
+"""Shared plumbing for the perf harness: graph ladder, timing, JSON I/O."""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.graph.generators import barabasi_albert, gnp_random_graph  # noqa: E402
+from repro.graph.graph import Graph  # noqa: E402
+
+SCHEMA_VERSION = 1
+GRAPH_SEED = 20180723  # PODC'18; fixed so every run times identical graphs.
+
+# Size ladder per rung.  "small" is the CI rung; "full" is the committed
+# trajectory (n = 1k -> 100k for kernels, capped lower for e2e runs).
+KERNEL_RUNGS: Dict[str, List[int]] = {
+    "small": [1_000, 5_000],
+    "full": [1_000, 5_000, 20_000, 50_000, 100_000],
+}
+E2E_RUNGS: Dict[str, List[int]] = {
+    "small": [1_000, 5_000],
+    "full": [1_000, 5_000, 20_000, 50_000],
+}
+
+AVERAGE_DEGREE = 20  # target average degree for both families
+
+
+def ladder_graph(family: str, n: int) -> Graph:
+    """The deterministic benchmark graph for ``(family, n)``.
+
+    ``random`` is Erdős–Rényi with average degree ~20; ``powerlaw`` is
+    Barabási–Albert with attachment 10 (also average degree ~20), the
+    heterogeneous-degree "social network" workload.
+    """
+    if family == "random":
+        p = min(1.0, AVERAGE_DEGREE / max(1, n - 1))
+        return gnp_random_graph(n, p, seed=GRAPH_SEED + n)
+    if family == "powerlaw":
+        return barabasi_albert(n, AVERAGE_DEGREE // 2, seed=GRAPH_SEED + n)
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+def time_call(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def repeats_for(n: int) -> int:
+    """More repeats at small sizes, where timer noise dominates."""
+    if n <= 5_000:
+        return 5
+    if n <= 20_000:
+        return 3
+    return 2
+
+
+def environment_stamp() -> Dict[str, Any]:
+    """Provenance recorded into every BENCH_*.json."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def read_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def result_key(entry: Dict[str, Any], fields: Tuple[str, ...]) -> str:
+    return "/".join(str(entry[field]) for field in fields)

@@ -12,6 +12,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
     entry_points={
         "console_scripts": [
             "repro = repro.api.__main__:main",

@@ -15,7 +15,18 @@ import dataclasses
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.facade import GraphLike, solve
 from repro.api.report import RunReport
@@ -115,16 +126,52 @@ def _run_spec(spec: RunSpec) -> RunReport:
     return report
 
 
-def _run_indexed(indexed_spec):
+# Per-worker graph table, installed once by the pool initializer.  Sweeps
+# reuse a handful of graphs across many specs; shipping each graph once per
+# worker (instead of re-pickling it into every task) keeps the task
+# payloads O(1) regardless of graph size.
+_WORKER_GRAPHS: List[GraphLike] = []
+
+
+def _init_worker(graphs: List[GraphLike]) -> None:
+    """Pool initializer: receive the sweep's distinct graphs once."""
+    global _WORKER_GRAPHS
+    _WORKER_GRAPHS = graphs
+
+
+def _run_indexed(job):
     """Pool worker: never raises, so one failure cannot poison the batch.
 
-    Returns ``(index, report, None)`` or ``(index, None, error_message)``.
+    ``job`` is ``(index, spec-with-graph-stripped, graph_index)``; the
+    graph is looked up in the worker-local table installed by
+    :func:`_init_worker`.  Returns ``(index, report, None)`` or
+    ``(index, None, error_message)``.
     """
-    index, spec = indexed_spec
+    index, spec, graph_index = job
     try:
+        spec = dataclasses.replace(spec, graph=_WORKER_GRAPHS[graph_index])
         return index, _run_spec(spec), None
     except Exception as error:
         return index, None, f"{type(error).__name__}: {error}"
+
+
+def _shared_graph_jobs(
+    spec_list: List[RunSpec],
+) -> Tuple[List[GraphLike], List[Tuple[int, RunSpec, int]]]:
+    """Deduplicate spec graphs (by identity) into a table + light jobs."""
+    graph_table: List[GraphLike] = []
+    index_of: Dict[int, int] = {}
+    jobs: List[Tuple[int, RunSpec, int]] = []
+    for index, spec in enumerate(spec_list):
+        graph_index = index_of.get(id(spec.graph))
+        if graph_index is None:
+            graph_index = len(graph_table)
+            index_of[id(spec.graph)] = graph_index
+            graph_table.append(spec.graph)
+        jobs.append(
+            (index, dataclasses.replace(spec, graph=None), graph_index)
+        )
+    return graph_table, jobs
 
 
 def solve_many(
@@ -199,12 +246,15 @@ def solve_many(
             import multiprocessing
 
             finished: Dict[int, RunReport] = {}
-            with multiprocessing.Pool(processes) as pool:
+            graph_table, jobs = _shared_graph_jobs(spec_list)
+            with multiprocessing.Pool(
+                processes, initializer=_init_worker, initargs=(graph_table,)
+            ) as pool:
                 # imap_unordered streams each report the moment its worker
                 # finishes — a slow head-of-line spec cannot delay the
                 # JSONL/on_result output of the fast ones behind it.
                 for index, report, error in pool.imap_unordered(
-                    _run_indexed, list(enumerate(spec_list))
+                    _run_indexed, jobs
                 ):
                     if error is not None:
                         record_failure(spec_list[index], error)

@@ -10,8 +10,14 @@ uniform :class:`~repro.api.report.RunReport` output.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import time
 from typing import Any, Dict, Optional, Union
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 from repro.api.registry import SolverEntry, registry
 from repro.api.report import (
@@ -94,6 +100,7 @@ def solve(
     started = time.perf_counter()
     output = entry.fn(prepared, config=resolved_config, seed=seed, trace=trace)
     elapsed = time.perf_counter() - started
+    peak_rss = _peak_rss_bytes()
 
     solution = canonical_solution(entry.solution_kind, output.solution)
     structure = prepared.structure if isinstance(prepared, WeightedGraph) else prepared
@@ -112,8 +119,22 @@ def solve(
         seed=seed,
         config=_config_snapshot(resolved_config),
         wall_time_s=elapsed,
+        peak_rss_bytes=peak_rss,
         extras=dict(output.extras),
     )
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so sweeps should
+    read it as "memory needed to get this far", not a per-run delta.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return int(peak if sys.platform == "darwin" else peak * 1024)
 
 
 def _prepare_graph(entry: SolverEntry, graph: GraphLike) -> GraphLike:

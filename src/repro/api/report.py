@@ -71,6 +71,11 @@ class RunReport:
         the backend takes no config).
     wall_time_s:
         Wall-clock seconds spent inside the solver call.
+    peak_rss_bytes:
+        Peak resident-set size of the process after the solver call
+        (``ru_maxrss``; 0 when the platform cannot measure it).  Facade
+        sweeps thereby double as perf data — every JSONL row carries its
+        wall-clock and memory high-water mark.
     extras:
         Backend-specific measurements (prefix phases, Lenzen volumes,
         supersteps, ...) preserved for experiment tables.
@@ -88,6 +93,7 @@ class RunReport:
     seed: Optional[int] = None
     config: Dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    peak_rss_bytes: int = 0
     extras: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -144,6 +150,7 @@ class RunReport:
             "seed": self.seed,
             "config": dict(self.config),
             "wall_time_s": self.wall_time_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "extras": dict(self.extras),
         }
 
@@ -175,6 +182,7 @@ class RunReport:
             seed=payload.get("seed"),
             config=dict(payload.get("config", {})),
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            peak_rss_bytes=int(payload.get("peak_rss_bytes", 0)),
             extras=dict(payload.get("extras", {})),
         )
 
@@ -195,6 +203,7 @@ class RunReport:
             "valid": self.valid,
             "seed": self.seed,
             "wall_time_s": round(self.wall_time_s, 4),
+            "peak_rss_mb": round(self.peak_rss_bytes / 2**20, 1),
         }
         for key in ("weight", "ratio"):
             if key in self.metrics:

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.validation import require
@@ -69,6 +72,32 @@ def greedy_mis_on_prefix(
             continue
         chosen.add(v)
     return chosen
+
+
+def greedy_mis_on_prefix_csr(
+    csr: CSRGraph,
+    ranks: np.ndarray,
+    prefix: np.ndarray,
+) -> np.ndarray:
+    """CSR form of :func:`greedy_mis_on_prefix`; returns chosen vertices.
+
+    ``csr`` is the *original* graph: residual edges among prefix vertices
+    coincide with original edges (prefix vertices are undecided, hence
+    never isolated), so no residual structure is needed.  The greedy walk
+    itself is inherently sequential, but each step is one vectorized
+    neighbor-slice membership test.  Output is identical to the set-based
+    function on the same inputs.
+    """
+    order = prefix[np.argsort(ranks[prefix], kind="stable")]
+    chosen = np.zeros(csr.num_vertices, dtype=bool)
+    indptr = csr.indptr
+    indices = csr.indices
+    for v in order.tolist():
+        # ``chosen`` is only ever set on prefix vertices, so the slice test
+        # is automatically restricted to the induced prefix subgraph.
+        if not chosen[indices[indptr[v] : indptr[v + 1]]].any():
+            chosen[v] = True
+    return np.flatnonzero(chosen)
 
 
 def residual_after_prefix(

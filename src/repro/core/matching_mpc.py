@@ -19,27 +19,64 @@ The algorithm simulates Central-Rand in phases.  While the degree bound
 
 Once ``d`` reaches the floor the remaining iterations of Central-Rand are
 simulated directly, one round each (Line (4)).
+
+Hot-path layout: the graph's edge list is materialized **once** into flat
+NumPy arrays (via :class:`~repro.graph.csr.CSRGraph`) and every per-phase
+edge scan — the frozen-load recomputation ``y_old``, the true-load
+aggregation of Line (g), the active-subgraph extraction, and the final
+weight readout — is a vectorized pass over those arrays instead of a
+Python iteration of the adjacency structure.  Freezing decisions go
+through :meth:`ThresholdOracle.crosses`, which only materializes the
+(SHA-derived) threshold when the load estimate lands inside the random
+band.  Both changes are output-preserving: the RNG consumption order
+(machine assignment draws) and every freezing comparison are unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.core.config import MatchingConfig
 from repro.core.fractional import FractionalMatching
 from repro.core.thresholds import ThresholdOracle
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Edge, Graph
 from repro.mpc.cluster import Message, MPCCluster
 from repro.mpc.spec import ClusterSpec
-from repro.mpc.words import WORDS_PER_FLOAT, edge_words, id_words
+from repro.mpc.words import edge_words, id_words
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 
 # Cap on the phase count, far above the O(log log n) bound; converts a
 # schedule bug into an exception instead of a hang.
 _MAX_PHASES = 300
+
+# "Never froze" sentinel for the int64 freeze-time array.  Large enough to
+# lose every ``min(..., now)`` while staying far from int64 overflow.
+_NEVER = np.int64(2**62)
+
+
+def _edge_weights(
+    freeze_at: np.ndarray,
+    endpoint_u: np.ndarray,
+    endpoint_v: np.ndarray,
+    now: int,
+    w0: float,
+    growth: float,
+) -> np.ndarray:
+    """Line (g) weights ``x_e = w_0 · growth^{t'}`` for the given edges.
+
+    ``t'`` is the earliest endpoint freeze time, capped at ``now`` — the
+    single definition every load/weight readout in this module shares.
+    """
+    t_prime = np.minimum(
+        np.minimum(freeze_at[endpoint_u], freeze_at[endpoint_v]), np.int64(now)
+    )
+    return w0 * np.power(growth, t_prime)
 
 
 @dataclass
@@ -128,8 +165,17 @@ def mpc_fractional_matching(
     spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="sqrt")
     cluster = spec.build_cluster(trace=trace)
 
+    # One-time edge materialization: every per-phase scan below is a flat
+    # pass over these canonical (u < v) endpoint arrays.
+    csr = CSRGraph.from_graph(graph)
+    edge_array = csr.edge_array()
+    eu = np.ascontiguousarray(edge_array[:, 0])
+    ev = np.ascontiguousarray(edge_array[:, 1])
+
     surviving: Set[int] = set(range(n))  # the paper's V'
+    surviving_mask = np.ones(n, dtype=bool)
     freeze_iteration: Dict[int, int] = {}
+    freeze_at = np.full(n, _NEVER, dtype=np.int64)
     heavy_removed: Set[int] = set()
     d = float(n)
     t = 0
@@ -137,22 +183,13 @@ def mpc_fractional_matching(
     floor = config.degree_floor(n)
     machine_edges_per_phase: List[int] = []
 
-    def edge_weight(u: int, v: int, now: int) -> float:
-        """Current weight of edge ``{u, v}`` per Line (g)."""
-        t_prime = min(
-            freeze_iteration.get(u, now), freeze_iteration.get(v, now), now
-        )
-        return w0 * growth**t_prime
-
-    def vertex_loads(now: int) -> Dict[int, float]:
-        """True loads ``y^MPC`` over ``G[V']`` at iteration ``now``."""
-        loads = {v: 0.0 for v in surviving}
-        for u, v in graph.edges():
-            if u in surviving and v in surviving:
-                x = edge_weight(u, v, now)
-                loads[u] += x
-                loads[v] += x
-        return loads
+    def vertex_loads(now: int) -> np.ndarray:
+        """True loads ``y^MPC`` over ``G[V']`` at iteration ``now`` (Line (g))."""
+        inside = surviving_mask[eu] & surviving_mask[ev]
+        x = _edge_weights(freeze_at, eu[inside], ev[inside], now, w0, growth)
+        return np.bincount(
+            eu[inside], weights=x, minlength=n
+        ) + np.bincount(ev[inside], weights=x, minlength=n)
 
     while d > floor:
         if phases >= _MAX_PHASES:
@@ -160,41 +197,61 @@ def mpc_fractional_matching(
         active = [
             v for v in surviving if v not in freeze_iteration
         ]
-        active_set = set(active)
-        # Active subgraph G' and the per-vertex frozen load y_old (Line (b)).
-        y_old: Dict[int, float] = {v: 0.0 for v in surviving}
-        active_adj: Dict[int, Set[int]] = {v: set() for v in active}
-        for u, v in graph.edges():
-            if u not in surviving or v not in surviving:
-                continue
-            if u in active_set and v in active_set:
-                active_adj[u].add(v)
-                active_adj[v].add(u)
-            else:
-                x = edge_weight(u, v, t)
-                y_old[u] += x
-                y_old[v] += x
+        active_mask = np.zeros(n, dtype=bool)
+        active_mask[active] = True
+
+        # Active subgraph G' and the per-vertex frozen load y_old (Line (b)):
+        # one vectorized pass splits the surviving edges into "both active"
+        # (shipped to machines) and "touching a frozen endpoint" (their
+        # weight is already locked in and accrues to y_old).
+        surv_edge = surviving_mask[eu] & surviving_mask[ev]
+        both_active = surv_edge & active_mask[eu] & active_mask[ev]
+        frozen_touch = surv_edge & ~both_active
+        fu = eu[frozen_touch]
+        fv = ev[frozen_touch]
+        x = _edge_weights(freeze_at, fu, fv, t, w0, growth)
+        y_old = np.bincount(fu, weights=x, minlength=n) + np.bincount(
+            fv, weights=x, minlength=n
+        )
+        active_u = eu[both_active]
+        active_v = ev[both_active]
 
         num_machines = max(2, int(math.sqrt(d)))
         iterations = config.iterations_per_phase(num_machines)
 
         # Line (d): i.i.d. random vertex partitioning; one exchange ships
-        # each induced subgraph (memory validated by the substrate).
+        # each induced subgraph (memory validated by the substrate).  The
+        # draw order over ``active`` is load-bearing for reproducibility.
         owner = {v: rng.randrange(num_machines) for v in active}
         parts: List[List[int]] = [[] for _ in range(num_machines)]
         for v in active:
             parts[owner[v]].append(v)
-        local_edge_counts = _ship_partitions(
-            cluster, active_adj, parts, owner, phases
-        )
+        owner_of = np.full(n, -1, dtype=np.int64)
+        if active:
+            owner_of[active] = [owner[v] for v in active]
+
+        # Same-machine active edges, grouped by machine in one sort.
+        same = owner_of[active_u] == owner_of[active_v]
+        local_u = active_u[same]
+        local_v = active_v[same]
+        machine_of_edge = owner_of[local_u]
+        grouping = np.argsort(machine_of_edge, kind="stable")
+        local_u = local_u[grouping]
+        local_v = local_v[grouping]
+        counts = np.bincount(machine_of_edge, minlength=num_machines)
+        boundaries = np.zeros(num_machines + 1, dtype=np.int64)
+        np.cumsum(counts, out=boundaries[1:])
+        local_edge_counts = [int(c) for c in counts]
+
+        _ship_partitions(cluster, local_edge_counts, phases)
         machine_edges_per_phase.append(max(local_edge_counts, default=0))
 
         # Lines (e): every machine simulates I iterations locally.
-        for part in parts:
+        for index, part in enumerate(parts):
             _simulate_machine(
                 part=part,
-                owner=owner,
-                active_adj=active_adj,
+                edges_u=local_u[boundaries[index] : boundaries[index + 1]],
+                edges_v=local_v[boundaries[index] : boundaries[index + 1]],
                 y_old=y_old,
                 oracle=oracle,
                 freeze_iteration=freeze_iteration,
@@ -207,6 +264,8 @@ def mpc_fractional_matching(
         t += iterations
         d *= (1.0 - epsilon) ** iterations
         phases += 1
+        for v, frozen_t in freeze_iteration.items():
+            freeze_at[v] = frozen_t
 
         # One broadcast distributes freeze times (Line (g) inputs), one
         # aggregation round recomputes loads and applies Lines (h)-(j).
@@ -214,17 +273,21 @@ def mpc_fractional_matching(
         cluster.charge_rounds(1, f"matching: phase {phases} load aggregation")
 
         loads = vertex_loads(t)
-        over_one = {v for v, load in loads.items() if load > 1.0}
-        for v in over_one:
+        over_one = np.flatnonzero(surviving_mask & (loads > 1.0))
+        for v in over_one.tolist():
             surviving.discard(v)
+            surviving_mask[v] = False
             heavy_removed.add(v)
-        if over_one:
+        if over_one.size:
             loads = vertex_loads(t)
-        for v, load in loads.items():
-            if v in freeze_iteration or v not in surviving:
-                continue
-            if load >= 1.0 - 2.0 * epsilon:
-                freeze_iteration[v] = t
+        newly_frozen = np.flatnonzero(
+            surviving_mask
+            & (freeze_at == _NEVER)
+            & (loads >= 1.0 - 2.0 * epsilon)
+        )
+        for v in newly_frozen.tolist():
+            freeze_iteration[v] = t
+            freeze_at[v] = t
         maybe_record(
             trace,
             "matching_phase",
@@ -240,23 +303,34 @@ def mpc_fractional_matching(
     # Line (4): direct simulation of the remaining Central-Rand iterations.
     t_before_direct = t
     t = _direct_simulation(
-        graph=graph,
-        surviving=surviving,
+        eu=eu,
+        ev=ev,
+        surviving_mask=surviving_mask,
+        freeze_at=freeze_at,
         freeze_iteration=freeze_iteration,
         oracle=oracle,
         cluster=cluster,
         start_iteration=t,
         w0=w0,
         growth=growth,
-        epsilon=epsilon,
         max_iterations=config.max_direct_iterations,
         vertex_loads=vertex_loads,
     )
 
-    weights: Dict[Edge, float] = {}
-    for u, v in graph.edges():
-        if u in surviving and v in surviving:
-            weights[(u, v)] = edge_weight(u, v, t)
+    inside = surviving_mask[eu] & surviving_mask[ev]
+    wu = eu[inside]
+    wv = ev[inside]
+    x = _edge_weights(freeze_at, wu, wv, t, w0, growth)
+    computed: Dict[Edge, float] = {
+        (u, v): value
+        for u, v, value in zip(wu.tolist(), wv.tolist(), x.tolist())
+    }
+    # Re-emit in graph.edges() order: downstream consumers (the Lemma 5.1
+    # rounding) iterate this dict and draw randomness per edge, so the
+    # insertion order is part of the reproducible behavior.
+    weights: Dict[Edge, float] = {
+        edge: computed[edge] for edge in graph.edges() if edge in computed
+    }
     cover = set(freeze_iteration) | heavy_removed
     matching = FractionalMatching(graph=graph, weights=weights, vertex_cover=cover)
     return MatchingMPCResult(
@@ -274,39 +348,29 @@ def mpc_fractional_matching(
 
 def _ship_partitions(
     cluster: MPCCluster,
-    active_adj: Dict[int, Set[int]],
-    parts: List[List[int]],
-    owner: Dict[int, int],
+    local_edge_counts: List[int],
     phase: int,
-) -> List[int]:
+) -> None:
     """Deliver each machine its induced active subgraph (one exchange).
 
     Machine ``i`` receives (and, in the shuffle, forwards) part ``i``'s
     induced edges; the substrate validates both directions against the word
     budget — this is exactly the quantity Lemma 4.7 bounds by ``O(n)``.
     """
-    local_edge_counts: List[int] = []
     outboxes: Dict[int, List[Message]] = {}
-    for index, part in enumerate(parts):
-        count = 0
-        for v in part:
-            for u in active_adj[v]:
-                if u > v and owner[u] == index:
-                    count += 1
-        local_edge_counts.append(count)
+    for index, count in enumerate(local_edge_counts):
         destination = index % cluster.num_machines
         outboxes.setdefault(destination, []).append(
             Message(destination=destination, words=edge_words(count), payload=None)
         )
     cluster.exchange(outboxes, context=f"matching: phase {phase + 1} scatter")
-    return local_edge_counts
 
 
 def _simulate_machine(
     part: List[int],
-    owner: Dict[int, int],
-    active_adj: Dict[int, Set[int]],
-    y_old: Dict[int, float],
+    edges_u: np.ndarray,
+    edges_v: np.ndarray,
+    y_old: np.ndarray,
     oracle: ThresholdOracle,
     freeze_iteration: Dict[int, int],
     start_iteration: int,
@@ -317,14 +381,14 @@ def _simulate_machine(
 ) -> None:
     """Run ``iterations`` local Central-Rand steps on one machine's part.
 
-    Mutates ``freeze_iteration`` with the vertices this machine froze.
+    ``edges_u``/``edges_v`` are this machine's local induced edges (both
+    endpoints assigned here).  Mutates ``freeze_iteration`` with the
+    vertices this machine froze.
     """
-    machine_index = owner[part[0]] if part else -1
-    local_adj: Dict[int, Set[int]] = {}
-    for v in part:
-        local_adj[v] = {
-            u for u in active_adj[v] if owner.get(u) == machine_index
-        }
+    local_adj: Dict[int, Set[int]] = {v: set() for v in part}
+    for a, b in zip(edges_u.tolist(), edges_v.tolist()):
+        local_adj[a].add(b)
+        local_adj[b].add(a)
     locally_active = set(part)
     for step in range(iterations):
         now = start_iteration + step
@@ -332,7 +396,7 @@ def _simulate_machine(
         to_freeze = []
         for v in locally_active:
             estimate = num_machines * len(local_adj[v]) * w_t + y_old[v]
-            if estimate >= oracle.threshold(v, now):
+            if oracle.crosses(v, now, estimate):
                 to_freeze.append(v)
         for v in to_freeze:
             freeze_iteration[v] = now
@@ -343,15 +407,16 @@ def _simulate_machine(
 
 
 def _direct_simulation(
-    graph: Graph,
-    surviving: Set[int],
+    eu: np.ndarray,
+    ev: np.ndarray,
+    surviving_mask: np.ndarray,
+    freeze_at: np.ndarray,
     freeze_iteration: Dict[int, int],
     oracle: ThresholdOracle,
     cluster: MPCCluster,
     start_iteration: int,
     w0: float,
     growth: float,
-    epsilon: float,
     max_iterations: int,
     vertex_loads,
 ) -> int:
@@ -360,27 +425,29 @@ def _direct_simulation(
     Returns the final global iteration counter.
     """
     t = start_iteration
-    active = {
-        v
-        for v in surviving
-        if v not in freeze_iteration
-        and any(
-            u in surviving and u not in freeze_iteration
-            for u in graph.neighbors_view(v)
-        )
-    }
-    active_degree = {
-        v: sum(
-            1
-            for u in graph.neighbors_view(v)
-            if u in active
-        )
-        for v in active
-    }
+    n = len(surviving_mask)
+    # Unfrozen survivors with at least one unfrozen surviving neighbor —
+    # one vectorized degree scan instead of a per-vertex adjacency walk.
+    unfrozen = surviving_mask & (freeze_at == _NEVER)
+    live_edge = unfrozen[eu] & unfrozen[ev]
+    live_degree = np.bincount(eu[live_edge], minlength=n) + np.bincount(
+        ev[live_edge], minlength=n
+    )
+    active = set(np.flatnonzero(unfrozen & (live_degree > 0)).tolist())
+    active_degree = {v: int(live_degree[v]) for v in active}
     frozen_load = {}
     loads = vertex_loads(t)
     for v in active:
         frozen_load[v] = loads[v] - active_degree[v] * w0 * growth**t
+
+    # Neighbor lists restricted to the initially-active set; the direct
+    # loop below only ever looks at active-active adjacency.
+    neighbors: Dict[int, List[int]] = {v: [] for v in active}
+    au = eu[live_edge]
+    av = ev[live_edge]
+    for a, b in zip(au.tolist(), av.tolist()):
+        neighbors[a].append(b)
+        neighbors[b].append(a)
 
     steps = 0
     while active:
@@ -392,17 +459,15 @@ def _direct_simulation(
         to_freeze = [
             v
             for v in active
-            if frozen_load[v] + active_degree[v] * w_t
-            >= oracle.threshold(v, t)
+            if oracle.crosses(v, t, frozen_load[v] + active_degree[v] * w_t)
         ]
         newly = set(to_freeze)
         for v in to_freeze:
             freeze_iteration[v] = t
+            freeze_at[v] = t
             active.discard(v)
         for v in to_freeze:
-            for u in graph.neighbors_view(v):
-                if u not in surviving:
-                    continue
+            for u in neighbors[v]:
                 if u in newly:
                     if u < v:
                         continue

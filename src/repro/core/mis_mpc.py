@@ -18,17 +18,30 @@ The output is *identical* to the sequential randomized greedy MIS under the
 same permutation for the prefix portion; the finish switches processes
 (as the paper does) so overall agreement is with the hybrid, not pure
 greedy.
+
+Hot-path layout: the residual graph is never materialized as mutable
+adjacency sets.  The input is converted once to a
+:class:`~repro.graph.csr.CSRGraph` and the residual is an ``alive``
+boolean mask over it — valid because greedy deletion only ever *isolates*
+vertices, so the residual edge set is exactly "original edges with both
+endpoints alive".  Prefix selection, induced-edge extraction,
+closed-neighborhood removal, and the per-phase residual-degree scan are
+all vectorized kernels; outputs are bit-for-bit identical to the
+historical set-based implementation.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
+
+import numpy as np
 
 from repro.core.config import MISConfig
-from repro.core.greedy_mis import greedy_mis_on_prefix
+from repro.core.greedy_mis import greedy_mis_on_prefix_csr
 from repro.core.sparsified_mis import sparsified_mis
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.mpc.primitives import broadcast_vertex_set
 from repro.mpc.spec import ClusterSpec
@@ -113,64 +126,75 @@ def mis_mpc(
 
     spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="fit")
     cluster = spec.build_cluster(trace=trace)
+    csr = CSRGraph.from_graph(graph)
 
     # Shared random permutation: rank[v] in [0, n), all distinct.
     permutation = list(range(n))
     rng.shuffle(permutation)
-    ranks = [0] * n
-    for position, v in enumerate(permutation):
-        ranks[v] = position
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[permutation] = np.arange(n, dtype=np.int64)
     cluster.broadcast(n, context="mis: broadcast permutation")
 
-    residual = graph.copy()
+    # ``alive`` tracks the residual graph (False = isolated by a removed
+    # closed neighborhood); ``decided`` additionally covers dominated
+    # prefix vertices whose edges survive.
+    alive = np.ones(n, dtype=bool)
+    decided = np.zeros(n, dtype=bool)
     mis: Set[int] = set()
-    decided: Set[int] = set()
 
-    cutoffs = rank_schedule(n, graph.max_degree(), config)
+    cutoffs = rank_schedule(n, csr.max_degree(), config)
     shipped_sizes: List[int] = []
     previous_cutoff = 0
     for phase_index, cutoff in enumerate(cutoffs):
-        prefix = [
-            v
-            for v in range(n)
-            if previous_cutoff <= ranks[v] < cutoff and v not in decided
-        ]
-        prefix_edges = residual.induced_edges(prefix)
+        window = (ranks >= previous_cutoff) & (ranks < cutoff) & ~decided
+        prefix = np.flatnonzero(window)
+        # Prefix vertices are undecided, hence never isolated, so their
+        # residual-induced edges coincide with original-graph edges.
+        prefix_edges = csr.induced_edges(window)
         cluster.ship_to_machine(
             0,
             "prefix_edges",
-            prefix_edges,
+            [(int(u), int(v)) for u, v in prefix_edges],
             edge_words(len(prefix_edges)),
             context=f"mis: ship prefix phase {phase_index}",
         )
         shipped_sizes.append(len(prefix_edges))
 
-        new_mis = greedy_mis_on_prefix(residual, ranks, prefix)
+        new_mis = greedy_mis_on_prefix_csr(csr, ranks, prefix)
         broadcast_vertex_set(
-            cluster, new_mis, context=f"mis: broadcast phase {phase_index} result"
+            cluster,
+            new_mis.tolist(),
+            context=f"mis: broadcast phase {phase_index} result",
         )
-        for v in sorted(new_mis, key=lambda vertex: ranks[vertex]):
-            if v in decided:
-                continue
-            mis.add(v)
-            removed = residual.remove_closed_neighborhood(v)
-            decided |= removed
+        # The chosen vertices are independent, so their closed
+        # neighborhoods can be removed (and marked decided) in one batch,
+        # reusing a single ragged neighbor gather for both masks.
+        mis.update(new_mis.tolist())
+        chosen_neighbors = csr.neighbors_bulk(new_mis)
+        alive = alive.copy()
+        alive[new_mis] = False
+        alive[chosen_neighbors] = False
+        decided[new_mis] = True
+        decided[chosen_neighbors] = True
         # Vertices of the prefix that were dominated are also decided.
-        decided.update(prefix)
+        decided |= window
         previous_cutoff = cutoff
+        residual_degrees = csr.degrees(alive)
         maybe_record(
             trace,
             "mis_prefix_phase",
             phase=phase_index,
             cutoff=cutoff,
             shipped_edges=len(prefix_edges),
-            residual_max_degree=residual.max_degree(),
+            residual_max_degree=int(residual_degrees[alive].max())
+            if alive.any()
+            else 0,
             mis_size=len(mis),
         )
 
-    active = {v for v in range(n) if v not in decided}
+    active = set(np.flatnonzero(~decided).tolist())
     finish = sparsified_mis(
-        residual,
+        csr.filter_edges(alive),
         active=active,
         seed=rng.getrandbits(64),
         cluster=cluster,

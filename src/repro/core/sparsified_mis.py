@@ -18,14 +18,24 @@ ball-local simulation because the randomness is shared — and charge rounds
 by the exponentiation schedule.  :func:`luby_round` is also reused by the
 :mod:`repro.baselines.luby` baseline, which charges one round per Luby step
 instead.
+
+Hot-path layout: the default (``"luby"``) strategy runs on the CSR kernel
+layer — per-vertex draws are consumed in the same order as the set-based
+process (that order is load-bearing for reproducibility), but the winner
+determination, neighborhood removal, residual edge count, and leftover
+extraction are vectorized mask operations.  Outputs are bit-for-bit
+identical to the historical set-based implementation.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set, Union
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.graph import Graph
 from repro.mpc.ball import ball_gather_rounds
 from repro.mpc.cluster import MPCCluster
@@ -67,7 +77,7 @@ class SparsifiedMISOutcome:
 
 
 def sparsified_mis(
-    graph: Graph,
+    graph: Union[Graph, CSRGraph],
     active: Optional[Set[int]] = None,
     seed: SeedLike = None,
     cluster: Optional[MPCCluster] = None,
@@ -80,11 +90,11 @@ def sparsified_mis(
     Parameters
     ----------
     graph:
-        The residual graph (vertices outside ``active`` are ignored and
-        must be isolated from it for maximality semantics to make sense).
+        The residual graph — set-based or CSR (vertices outside ``active``
+        are ignored and must be isolated from it for maximality semantics
+        to make sense).
     active:
-        Vertices still undecided; defaults to all non-isolated vertices
-        plus isolated ones (isolated vertices always join the MIS).
+        Vertices still undecided; defaults to all vertices.
     cluster:
         If given, rounds are charged to it and the leftover-graph shipment
         is memory-validated against its word budget.
@@ -100,14 +110,18 @@ def sparsified_mis(
     if strategy not in ("luby", "ghaffari"):
         raise ValueError(f"unknown sparsified-MIS strategy {strategy!r}")
     rng = make_rng(seed)
-    residual = graph.copy()
+    csr = as_csr(graph)
+    n = csr.num_vertices
     if active is None:
-        active = set(graph.vertices())
+        active = set(range(n))
     else:
         active = set(active)
+    active_mask = np.zeros(n, dtype=bool)
+    if active:
+        active_mask[list(active)] = True
     mis: Set[int] = set()
 
-    num_edges = sum(1 for u, v in residual.edges() if u in active and v in active)
+    num_edges = csr.count_edges_within(active_mask)
     local_rounds = max(1, math.ceil(rounds_factor * math.log2(num_edges + 2)))
     rounds_charged = ball_gather_rounds(local_rounds)
     if cluster is not None:
@@ -117,24 +131,45 @@ def sparsified_mis(
     if strategy == "ghaffari":
         from repro.core.ghaffari_local import run_ghaffari_process
 
+        residual = graph.copy() if isinstance(graph, Graph) else csr.to_graph()
         found, simulated = run_ghaffari_process(
             residual, active, rng, rounds=local_rounds
         )
         mis |= found
+        active_mask[:] = False
+        if active:
+            active_mask[list(active)] = True
     else:
+        src = csr.src
+        dst = csr.indices
+        draw = np.empty(n, dtype=np.float64)
         for _ in range(local_rounds):
             if not active:
                 break
-            winners = luby_round(residual, active, rng)
+            # Per-vertex draws, consumed in set-iteration order — exactly
+            # the order the set-based luby_round used, so seeded runs are
+            # reproduced bit-for-bit.
+            for v in active:
+                draw[v] = rng.random()
+            both = active_mask[src] & active_mask[dst]
+            s = src[both]
+            t = dst[both]
+            beats = (draw[t] < draw[s]) | ((draw[t] == draw[s]) & (t < s))
+            beaten = np.zeros(n, dtype=bool)
+            beaten[s[beats]] = True
+            winners_mask = active_mask & ~beaten
+            winners = np.flatnonzero(winners_mask)
             simulated += 1
-            for v in winners:
-                if v not in active:
-                    continue  # removed as an earlier winner's neighbor this round
-                mis.add(v)
-                removed = residual.remove_closed_neighborhood(v)
-                active -= removed
+            mis.update(winners.tolist())
+            # Winners form an independent set, so their closed
+            # neighborhoods can be removed in one batch.
+            removed_mask = winners_mask.copy()
+            removed_mask[csr.neighbors_bulk(winners)] = True
+            active.difference_update(np.flatnonzero(removed_mask).tolist())
+            active_mask &= ~removed_mask
 
-    leftover_edges = residual.induced_edges(active)
+    leftover = csr.induced_edges(active_mask)
+    leftover_edges = [(int(u), int(v)) for u, v in leftover]
     if cluster is not None:
         cluster.ship_to_machine(
             0,
@@ -148,13 +183,15 @@ def sparsified_mis(
         rounds_charged += 1
 
     # Leader finish: greedy over the leftover, then isolated actives join.
-    leftover_order = sorted(active)
-    chosen_local: Set[int] = set()
-    for v in leftover_order:
-        if any(u in chosen_local for u in residual.neighbors_view(v)):
-            continue
-        chosen_local.add(v)
-    mis |= chosen_local
+    # ``chosen`` is only ever set on active vertices, so testing the full
+    # neighbor slice equals testing residual-active adjacency.
+    indptr = csr.indptr
+    indices = csr.indices
+    chosen = np.zeros(n, dtype=bool)
+    for v in sorted(active):
+        if not chosen[indices[indptr[v] : indptr[v + 1]]].any():
+            chosen[v] = True
+            mis.add(v)
 
     maybe_record(
         trace,

@@ -40,6 +40,24 @@ class ThresholdOracle:
             return self._low
         return self._stream.uniform(self._low, self._high, vertex, iteration)
 
+    def crosses(self, vertex: int, iteration: int, estimate: float) -> bool:
+        """Whether ``estimate >= T_{v,t}``, computing the threshold lazily.
+
+        ``T_{v,t}`` always lies in ``[low, high]``, so an estimate outside
+        the band decides without materializing the draw.  Because the
+        threshold is a *pure* function of ``(seed, v, t)`` — not a consumed
+        stream — skipping the computation leaves every other draw, and
+        therefore every output, bit-for-bit unchanged.  This short-circuit
+        is the matching simulation's hottest-path fix: early iterations
+        have loads far below ``low``, and each materialized draw costs a
+        SHA-256 plus a fresh Mersenne-Twister seeding.
+        """
+        if estimate < self._low:
+            return False
+        if estimate >= self._high:
+            return True
+        return estimate >= self.threshold(vertex, iteration)
+
 
 def fixed_oracle(value: float) -> ThresholdOracle:
     """An oracle that always returns ``value`` (plain Central)."""

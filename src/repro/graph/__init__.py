@@ -1,6 +1,7 @@
 """Graph substrate: graph types, generators, validators, and I/O."""
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph, GraphView, as_csr, as_graph
 from repro.graph.weighted import WeightedGraph
 from repro.graph.generators import (
     barabasi_albert,
@@ -26,8 +27,12 @@ from repro.graph.properties import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Graph",
+    "GraphView",
     "WeightedGraph",
+    "as_csr",
+    "as_graph",
     "barabasi_albert",
     "caterpillar",
     "complete_graph",

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.graph.graph import Graph
 from repro.mpc.cluster import Message, MPCCluster
 from repro.mpc.spec import ClusterSpec
@@ -100,6 +102,15 @@ class PregelEngine:
         self._owner = {
             v: rng.randrange(machines) for v in graph.vertices()
         }
+        # Flat-array copy of the placement map for the batched outbox
+        # accounting in :meth:`run` (one bincount instead of a dict lookup
+        # per message).
+        self._owner_array = np.fromiter(
+            (self._owner[v] for v in graph.vertices()),
+            dtype=np.int64,
+            count=graph.num_vertices,
+        )
+        self._num_machines = machines
         self._stream = RngStream(rng.getrandbits(64), namespace="pregel")
 
     @property
@@ -144,8 +155,8 @@ class PregelEngine:
             active = sorted(live.union(inboxes))
             if not active:
                 break
-            pending: Dict[int, List[Any]] = {}
-            machine_words: Dict[int, int] = {}
+            destinations: List[int] = []
+            payloads: List[Any] = []
             for v in active:
                 context = VertexContext(
                     vertex=v,
@@ -160,11 +171,36 @@ class PregelEngine:
                 else:
                     live.add(v)
                 for destination, payload in context._outbox:
-                    pending.setdefault(destination, []).append(payload)
-                    machine_words[self._owner[destination]] = (
-                        machine_words.get(self._owner[destination], 0)
-                        + WORDS_PER_VERTEX_MESSAGE
-                    )
+                    destinations.append(destination)
+                    payloads.append(payload)
+            # Batched delivery: group the whole superstep's outbox by
+            # destination (one stable sort) and charge per-machine volume
+            # with one bincount over the placement array, instead of a
+            # dict lookup per message.
+            pending: Dict[int, List[Any]] = {}
+            machine_words: Dict[int, int] = {}
+            if destinations:
+                dest_array = np.fromiter(
+                    destinations, dtype=np.int64, count=len(destinations)
+                )
+                volume = np.bincount(
+                    self._owner_array[dest_array], minlength=self._num_machines
+                ) * WORDS_PER_VERTEX_MESSAGE
+                machine_words = {
+                    machine: int(words)
+                    for machine, words in enumerate(volume.tolist())
+                    if words
+                }
+                order = np.argsort(dest_array, kind="stable")
+                sorted_dest = dest_array[order]
+                unique_dest, starts = np.unique(sorted_dest, return_index=True)
+                bounds = np.append(starts, len(sorted_dest))
+                order_list = order.tolist()
+                for which, destination in enumerate(unique_dest.tolist()):
+                    pending[destination] = [
+                        payloads[i]
+                        for i in order_list[bounds[which] : bounds[which + 1]]
+                    ]
             # Charge the communication superstep and validate volumes.
             outboxes = {
                 machine: [
