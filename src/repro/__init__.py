@@ -26,6 +26,12 @@ Unified façade — every task on every backend through one entry point
     from repro import solve, solve_many
 
     report = solve("mis", graph, backend="mpc", seed=7)
+
+Verification — certificates against the paper's guarantees (see
+:mod:`repro.verify` and VERIFICATION.md)::
+
+    report = solve("mis", graph, backend="mpc", seed=7, verify=True)
+    report.verified
 """
 
 from repro.graph import (

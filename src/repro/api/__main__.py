@@ -116,6 +116,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         config=_parse_config(args.config),
         seed=args.seed,
         budget=args.budget,
+        verify=args.verify,
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -123,7 +124,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         row = report.summary_row()
         row.update({k: v for k, v in report.metrics.items() if k != "size"})
         print(format_table([row], title=f"{report.task} via {report.backend}"))
-    return 0 if report.valid else 1
+        if args.verify and not report.verified:
+            failed = [
+                check["name"]
+                for check in report.verification.get("checks", [])
+                if not check["passed"]
+            ]
+            print(f"verification FAILED: {', '.join(failed)}", file=sys.stderr)
+    ok = report.valid and (report.verified or not args.verify)
+    return 0 if ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -171,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--budget", type=float, default=None)
     solve_p.add_argument("--config", default=None, help="JSON config overrides")
     solve_p.add_argument("--json", action="store_true", help="print the full report")
+    solve_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="attach a repro.verify certificate; non-zero exit if it fails",
+    )
 
     sweep_p = sub.add_parser("sweep", help="run a batch sweep")
     sweep_p.add_argument("--tasks", required=True, help="comma-separated tasks")

@@ -48,6 +48,7 @@ class RunSpec:
     seed: Optional[int] = None
     config: Any = None
     budget: Optional[float] = None
+    verify: Any = False
     label: str = ""
 
 
@@ -118,6 +119,7 @@ def _run_spec(spec: RunSpec) -> RunReport:
         config=spec.config,
         seed=spec.seed,
         budget=spec.budget,
+        verify=spec.verify,
     )
     if spec.label:
         report = dataclasses.replace(

@@ -48,6 +48,7 @@ def solve(
     config: Any = None,
     seed: Optional[int] = None,
     budget: Optional[float] = None,
+    verify: Any = False,
     trace: Optional[Trace] = None,
 ) -> RunReport:
     """Solve ``task`` on ``graph`` with the chosen ``backend``.
@@ -79,6 +80,14 @@ def solve(
         Backends without a memory model (``greedy``, ``pregel``
         baselines, exact solvers) ignore it, so sweep-wide budgets work
         with ``backends="all"``.
+    verify:
+        ``False`` (default) skips verification; ``True`` runs the
+        :mod:`repro.verify` certificate under the default
+        :class:`~repro.verify.BudgetPolicy`; a ``BudgetPolicy`` instance
+        runs it under that policy.  The serialized certificate (invariant
+        checks, oracle ratios on small inputs, round/memory budget
+        audits) lands in ``report.verification`` and travels through
+        ``to_json``/``from_json`` like every other field.
     trace:
         Optional :class:`Trace` receiving the backend's instrumentation.
 
@@ -106,7 +115,7 @@ def solve(
     structure = prepared.structure if isinstance(prepared, WeightedGraph) else prepared
     metrics = _quality_metrics(entry, prepared, structure, solution)
 
-    return RunReport(
+    report = RunReport(
         task=entry.task,
         backend=entry.backend,
         n=structure.num_vertices,
@@ -120,8 +129,19 @@ def solve(
         config=_config_snapshot(resolved_config),
         wall_time_s=elapsed,
         peak_rss_bytes=peak_rss,
+        total_comm_words=output.total_comm_words,
         extras=dict(output.extras),
     )
+    if verify:
+        # Local import: repro.verify sits above the facade (its
+        # differential harness drives solve()), so the dependency must
+        # stay one-way at module-import time.
+        from repro.verify import BudgetPolicy, certify_report
+
+        policy = verify if isinstance(verify, BudgetPolicy) else None
+        certificate = certify_report(prepared, report, entry=entry, policy=policy)
+        report = dataclasses.replace(report, verification=certificate.to_dict())
+    return report
 
 
 def _peak_rss_bytes() -> int:

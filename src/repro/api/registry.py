@@ -48,10 +48,18 @@ class SolverOutput:
     solution: Any
     rounds: int = 0
     max_machine_words: int = 0
+    total_comm_words: int = 0
     extras: Dict[str, Any] = field(default_factory=dict)
 
 
 SolverFn = Callable[..., SolverOutput]
+
+# Round-complexity guarantee classes an entry can claim.  The budget
+# auditor (repro.verify.budgets) turns these into concrete round budgets:
+# "loglog" — the paper's O(log log n) regime; "log" — classic O(log n)
+# per-round baselines (Luby, Israeli–Itai); "none" — no bound claimed
+# (centralized references, greedy baselines).
+ROUND_BOUNDS = ("loglog", "log", "none")
 
 
 @dataclass(frozen=True)
@@ -66,6 +74,12 @@ class SolverEntry:
     config_factory: Optional[Callable[[], Any]] = None
     weighted: bool = False  # expects a WeightedGraph input
     priority: int = 0  # higher wins the "auto" backend resolution
+    # Declared resource guarantees, audited by repro.verify against the
+    # paper's bounds.  ``rounds_constant`` is the hidden constant of the
+    # O(.) for this implementation (empirical, with headroom; see
+    # VERIFICATION.md for how the defaults were calibrated).
+    rounds_bound: str = "none"
+    rounds_constant: float = 1.0
 
 
 class UnknownSolverError(KeyError):
@@ -88,6 +102,8 @@ class SolverRegistry:
         config_factory: Optional[Callable[[], Any]] = None,
         weighted: bool = False,
         priority: int = 0,
+        rounds_bound: str = "none",
+        rounds_constant: float = 1.0,
     ) -> Callable[[SolverFn], SolverFn]:
         """Decorator registering ``fn`` for ``(task, backend)``.
 
@@ -99,6 +115,14 @@ class SolverRegistry:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; known backends: {BACKENDS}"
+            )
+        if rounds_bound not in ROUND_BOUNDS:
+            raise ValueError(
+                f"unknown rounds_bound {rounds_bound!r}; known: {ROUND_BOUNDS}"
+            )
+        if rounds_constant <= 0:
+            raise ValueError(
+                f"rounds_constant must be positive, got {rounds_constant}"
             )
 
         def wrap(fn: SolverFn) -> SolverFn:
@@ -114,6 +138,8 @@ class SolverRegistry:
                 config_factory=config_factory,
                 weighted=weighted,
                 priority=priority,
+                rounds_bound=rounds_bound,
+                rounds_constant=rounds_constant,
             )
             return fn
 

@@ -23,6 +23,15 @@ FRACTIONAL = "fractional"  # sorted list of [u, v, x] triples, u < v
 
 _SOLUTION_KINDS = (VERTEX_SET, EDGE_SET, FRACTIONAL)
 
+# Serialization schema of RunReport.to_dict/to_json.  Version 1 is the
+# pre-verification shape (no ``schema``/``total_comm_words``/
+# ``verification`` keys); version 2 added those fields.  ``from_dict``
+# accepts every listed version and rejects anything else, so JSONL written
+# by a future incompatible layout fails loudly instead of loading with
+# silently-dropped fields.
+SCHEMA_VERSION = 2
+_SUPPORTED_SCHEMAS = (1, 2)
+
 
 def canonical_solution(kind: str, solution: Any) -> Any:
     """Normalize a solver's raw solution into its canonical JSON shape."""
@@ -76,9 +85,19 @@ class RunReport:
         (``ru_maxrss``; 0 when the platform cannot measure it).  Facade
         sweeps thereby double as perf data — every JSONL row carries its
         wall-clock and memory high-water mark.
+    total_comm_words:
+        Total words communicated across all machines over the whole run
+        (0 when the backend does not account communication volume).
+    verification:
+        Serialized :class:`repro.verify.Certificate` when the run was
+        invoked with ``verify=`` — invariant checks, oracle ratios, and
+        round/memory budget audits (empty dict when verification was not
+        requested).
     extras:
         Backend-specific measurements (prefix phases, Lenzen volumes,
         supersteps, ...) preserved for experiment tables.
+    schema:
+        Serialization schema version (see :data:`SCHEMA_VERSION`).
     """
 
     task: str
@@ -94,13 +113,21 @@ class RunReport:
     config: Dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
     peak_rss_bytes: int = 0
+    total_comm_words: int = 0
+    verification: Dict[str, Any] = field(default_factory=dict)
     extras: Dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
         if self.solution_kind not in _SOLUTION_KINDS:
             raise ValueError(
                 f"solution_kind must be one of {_SOLUTION_KINDS}, "
                 f"got {self.solution_kind!r}"
+            )
+        if self.schema not in _SUPPORTED_SCHEMAS:
+            raise ValueError(
+                f"unsupported RunReport schema version {self.schema!r}; "
+                f"supported: {_SUPPORTED_SCHEMAS}"
             )
 
     # -- solution accessors -------------------------------------------------
@@ -129,6 +156,11 @@ class RunReport:
         return bool(self.metrics.get("valid", False))
 
     @property
+    def verified(self) -> bool:
+        """Whether a verification certificate was recorded and fully passed."""
+        return bool(self.verification.get("ok", False))
+
+    @property
     def size(self) -> int:
         """Cardinality of the solution (vertices, edges, or support)."""
         return len(self.solution)
@@ -151,7 +183,10 @@ class RunReport:
             "config": dict(self.config),
             "wall_time_s": self.wall_time_s,
             "peak_rss_bytes": self.peak_rss_bytes,
+            "total_comm_words": self.total_comm_words,
+            "verification": dict(self.verification),
             "extras": dict(self.extras),
+            "schema": self.schema,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -160,7 +195,19 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Payloads without a ``schema`` key are version-1 rows (pre-dating
+        the field); any version outside :data:`_SUPPORTED_SCHEMAS` raises
+        ``ValueError`` rather than deserializing a shape this code does
+        not understand.
+        """
+        schema = payload.get("schema", 1)
+        if schema not in _SUPPORTED_SCHEMAS:
+            raise ValueError(
+                f"unsupported RunReport schema version {schema!r}; "
+                f"supported: {_SUPPORTED_SCHEMAS}"
+            )
         solution_kind = payload["solution_kind"]
         raw = payload["solution"]
         if solution_kind == VERTEX_SET:
@@ -183,7 +230,12 @@ class RunReport:
             config=dict(payload.get("config", {})),
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             peak_rss_bytes=int(payload.get("peak_rss_bytes", 0)),
+            total_comm_words=int(payload.get("total_comm_words", 0)),
+            verification=dict(payload.get("verification", {})),
             extras=dict(payload.get("extras", {})),
+            # Older payloads are upgraded in memory: absent fields take
+            # their defaults, so the loaded object is always current-shape.
+            schema=SCHEMA_VERSION,
         )
 
     @classmethod
@@ -208,4 +260,6 @@ class RunReport:
         for key in ("weight", "ratio"):
             if key in self.metrics:
                 row[key] = self.metrics[key]
+        if self.verification:
+            row["verified"] = self.verified
         return row

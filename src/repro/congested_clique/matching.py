@@ -24,7 +24,7 @@ differs, and it is derived from measured volumes, not assumed.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.congested_clique.model import CongestedClique
@@ -45,6 +45,7 @@ class CCMatchingResult:
     rounds: int
     phases: int
     direct_iterations: int
+    heavy_removed: Set[int] = field(default_factory=set)
 
     @property
     def vertex_cover(self) -> Set[int]:
@@ -69,7 +70,11 @@ def congested_clique_fractional_matching(
     mpc = mpc_fractional_matching(graph, config=config, seed=seed, trace=trace)
     if n == 0:
         return CCMatchingResult(
-            matching=mpc.matching, rounds=0, phases=0, direct_iterations=0
+            matching=mpc.matching,
+            rounds=0,
+            phases=0,
+            direct_iterations=0,
+            heavy_removed=mpc.heavy_removed,
         )
 
     clique = CongestedClique(n, trace=trace)
@@ -92,4 +97,5 @@ def congested_clique_fractional_matching(
         rounds=clique.rounds,
         phases=mpc.phases,
         direct_iterations=mpc.direct_iterations,
+        heavy_removed=mpc.heavy_removed,
     )

@@ -59,6 +59,7 @@ class MPCCluster:
         ]
         self._words_per_machine = words_per_machine
         self._rounds = 0
+        self._total_comm_words = 0
         self._trace = trace
 
     # -- accessors ----------------------------------------------------------
@@ -77,6 +78,17 @@ class MPCCluster:
     def rounds(self) -> int:
         """Total MPC rounds consumed so far."""
         return self._rounds
+
+    @property
+    def total_comm_words(self) -> int:
+        """Total words shipped through the cluster so far (all machines).
+
+        Every :meth:`exchange` message, :meth:`ship_to_machine` bulk
+        object, and :meth:`broadcast` payload is summed here, so budget
+        auditors can check the run's aggregate communication volume
+        alongside the per-machine peaks.
+        """
+        return self._total_comm_words
 
     def machine(self, machine_id: int) -> Machine:
         """The machine with id ``machine_id``."""
@@ -134,6 +146,7 @@ class MPCCluster:
                 raise MemoryExceededError(
                     receiver, words, self._words_per_machine, f"{context}: inbox"
                 )
+        self._total_comm_words += sum(inbox_words.values())
         self._rounds += 1
         maybe_record(
             self._trace,
@@ -159,6 +172,7 @@ class MPCCluster:
         """
         machine = self.machine(destination)
         machine.store(key, value, words, context=context)
+        self._total_comm_words += words
         self._rounds += 1
         maybe_record(
             self._trace, "rounds_charged", count=1, reason=context, words=words
@@ -175,6 +189,8 @@ class MPCCluster:
             raise MemoryExceededError(
                 0, words, self._words_per_machine, f"{context}: broadcast payload"
             )
+        # One copy lands on every other machine.
+        self._total_comm_words += words * max(0, self.num_machines - 1)
         self._rounds += 1
         maybe_record(
             self._trace, "rounds_charged", count=1, reason=context, words=words

@@ -81,6 +81,7 @@ class EngineResult:
     supersteps: int
     rounds: int
     max_machine_message_words: int
+    total_message_words: int = 0
 
 
 class PregelEngine:
@@ -218,4 +219,5 @@ class PregelEngine:
             supersteps=superstep,
             rounds=self._cluster.rounds,
             max_machine_message_words=max_words,
+            total_message_words=self._cluster.total_comm_words,
         )

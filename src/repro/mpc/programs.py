@@ -44,6 +44,7 @@ class DistributedMISResult:
     supersteps: int
     rounds: int
     max_machine_message_words: int
+    total_message_words: int = 0
 
 
 def luby_vertex_program(
@@ -100,6 +101,7 @@ def luby_vertex_program(
         supersteps=outcome.supersteps,
         rounds=outcome.rounds,
         max_machine_message_words=outcome.max_machine_message_words,
+        total_message_words=outcome.total_message_words,
     )
 
 
@@ -110,6 +112,8 @@ class DistributedMatchingResult:
     matching: Set[Edge]
     supersteps: int
     rounds: int
+    max_machine_message_words: int = 0
+    total_message_words: int = 0
 
 
 def matching_vertex_program(
@@ -202,4 +206,6 @@ def matching_vertex_program(
         matching=matching,
         supersteps=outcome.supersteps,
         rounds=outcome.rounds,
+        max_machine_message_words=outcome.max_machine_message_words,
+        total_message_words=outcome.total_message_words,
     )

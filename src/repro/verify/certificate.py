@@ -1,0 +1,86 @@
+"""The certificate model: one named check, and a bundle of them.
+
+Every verification component — invariant checkers, oracle ratio checks,
+budget auditors — produces :class:`CheckResult` values; a
+:class:`Certificate` aggregates them for one run and serializes into
+``RunReport.verification`` so a JSONL sweep is a self-describing audit
+trail: each row says not just *what* the solver returned but *which paper
+guarantees that output was checked against and whether they held*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named check.
+
+    ``observed`` and ``bound`` are the two sides of the comparison when
+    the check is quantitative (measured rounds vs round budget, solution
+    size vs oracle optimum), kept so failures are diagnosable from the
+    serialized report alone.
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+    observed: Optional[float] = None
+    bound: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A compact JSON-ready snapshot (``None`` fields elided)."""
+        payload: Dict[str, Any] = {"name": self.name, "passed": self.passed}
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.observed is not None:
+            payload["observed"] = self.observed
+        if self.bound is not None:
+            payload["bound"] = self.bound
+        return payload
+
+
+@dataclass
+class Certificate:
+    """All checks recorded for one solver run."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every recorded check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> List[CheckResult]:
+        """The failing checks, in recorded order."""
+        return [check for check in self.checks if not check.passed]
+
+    def extend(self, results: List[CheckResult]) -> "Certificate":
+        """Append ``results`` (returns self for chaining)."""
+        self.checks.extend(results)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The shape stored in ``RunReport.verification``."""
+        return {
+            "ok": self.ok,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Certificate":
+        """Rebuild from :meth:`to_dict` output (e.g. a loaded report)."""
+        return cls(
+            checks=[
+                CheckResult(
+                    name=item["name"],
+                    passed=bool(item["passed"]),
+                    detail=item.get("detail", ""),
+                    observed=item.get("observed"),
+                    bound=item.get("bound"),
+                )
+                for item in payload.get("checks", [])
+            ]
+        )

@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: nightly-scale stress tests; skipped unless REPRO_RUN_SLOW=1 "
+        "(run with: REPRO_RUN_SLOW=1 pytest -m slow)",
+    )
+
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,

@@ -1,0 +1,94 @@
+"""Shared hypothesis strategies for the library's graph types.
+
+Before this module every property-test file grew its own ``@st.composite``
+graph generator; these are the consolidated versions, parameterized the
+same way everywhere:
+
+* :func:`graphs` — random ``G(n, m)`` as the set-based :class:`Graph`
+  (optionally guaranteeing edges for algorithms that need them);
+* :func:`csr_graphs` — the same distribution as :class:`CSRGraph`;
+* :func:`weighted_graphs` — random structure with positive uniform
+  weights;
+* :func:`graphs_with_subsets` — a graph plus a random vertex subset, for
+  the mask/induced-subgraph parity checks;
+* :func:`dense_pair_graphs` — small graphs drawn by sampling explicit
+  vertex pairs (hits duplicate-edge and near-clique shapes ``G(n, m)``
+  rarely produces).
+
+``mask_of`` converts a subset to the boolean mask shape the CSR kernels
+take.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.utils.rng import make_rng
+
+
+@st.composite
+def graphs(draw, max_vertices: int = 40, min_vertices: int = 0, min_edges: int = 0):
+    """A random ``G(n, m)`` graph of arbitrary density."""
+    n = draw(st.integers(min_value=max(min_vertices, 0), max_value=max_vertices))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(min_value=min(min_edges, max_edges), max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return gnm_random_graph(n, m, seed=seed)
+
+
+@st.composite
+def dense_pair_graphs(draw, max_vertices: int = 24, max_edges: int = 60):
+    """A small graph built from explicitly sampled vertex pairs.
+
+    Unlike :func:`graphs`, duplicate pairs are drawn and collapsed, so
+    shrinking finds minimal edge lists quickly.
+    """
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), max_size=max_edges))
+        if possible
+        else []
+    )
+    return Graph(n, edges)
+
+
+@st.composite
+def csr_graphs(draw, max_vertices: int = 40):
+    """The :func:`graphs` distribution, converted to :class:`CSRGraph`."""
+    return CSRGraph.from_graph(draw(graphs(max_vertices=max_vertices)))
+
+
+@st.composite
+def weighted_graphs(draw, max_vertices: int = 24, max_weight: float = 100.0):
+    """Random structure with positive uniform edge weights."""
+    graph = draw(graphs(max_vertices=max_vertices, min_vertices=2, min_edges=1))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = make_rng(seed)
+    weighted = WeightedGraph(graph.num_vertices)
+    for u, v in graph.edges():
+        weighted.add_edge(u, v, rng.uniform(0.1, max_weight))
+    return weighted
+
+
+@st.composite
+def graphs_with_subsets(draw, max_vertices: int = 24):
+    """A graph plus a random vertex subset (possibly empty)."""
+    graph = draw(dense_pair_graphs(max_vertices=max_vertices))
+    n = graph.num_vertices
+    subset = (
+        draw(st.sets(st.integers(min_value=0, max_value=n - 1))) if n else set()
+    )
+    return graph, subset
+
+
+def mask_of(subset, n: int) -> np.ndarray:
+    """A boolean mask over ``n`` vertices with ``subset`` set."""
+    mask = np.zeros(n, dtype=bool)
+    mask[list(subset)] = True
+    return mask

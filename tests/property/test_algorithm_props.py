@@ -15,11 +15,10 @@ from repro.core.augmenting import improve_matching
 from repro.core.central import central_fractional_matching
 from repro.core.matching_mpc import mpc_fractional_matching
 from repro.core.weighted_matching import mpc_weighted_matching, weight_classes
-from repro.graph.generators import gnm_random_graph
 from repro.graph.graph import Graph
 from repro.graph.properties import is_matching
-from repro.graph.weighted import WeightedGraph
-from repro.utils.rng import make_rng
+from tests.property.strategies import weighted_graphs
+from tests.property.strategies import graphs as any_graphs
 
 _SETTINGS = settings(
     max_examples=15,
@@ -28,23 +27,9 @@ _SETTINGS = settings(
 )
 
 
-@st.composite
-def graphs(draw, max_vertices: int = 40):
-    n = draw(st.integers(min_value=2, max_value=max_vertices))
-    m = draw(st.integers(min_value=1, max_value=n * (n - 1) // 2))
-    seed = draw(st.integers(min_value=0, max_value=2**31))
-    return gnm_random_graph(n, m, seed=seed)
-
-
-@st.composite
-def weighted_graphs(draw, max_vertices: int = 24):
-    graph = draw(graphs(max_vertices=max_vertices))
-    seed = draw(st.integers(min_value=0, max_value=2**31))
-    rng = make_rng(seed)
-    weighted = WeightedGraph(graph.num_vertices)
-    for u, v in graph.edges():
-        weighted.add_edge(u, v, rng.uniform(0.1, 100.0))
-    return weighted
+def graphs(max_vertices: int = 40):
+    """Graphs with at least one edge (the laws below divide by optima)."""
+    return any_graphs(max_vertices=max_vertices, min_vertices=2, min_edges=1)
 
 
 class TestDualitySandwich:

@@ -5,22 +5,14 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graph.generators import gnm_random_graph
 from repro.graph.graph import Graph, canonical_edge
+from tests.property.strategies import graphs
 
 _SETTINGS = settings(
     max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-@st.composite
-def graphs(draw, max_vertices: int = 40):
-    n = draw(st.integers(min_value=0, max_value=max_vertices))
-    m = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
-    seed = draw(st.integers(min_value=0, max_value=2**31))
-    return gnm_random_graph(n, m, seed=seed)
 
 
 class TestGraphProperties:

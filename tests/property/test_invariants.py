@@ -18,7 +18,6 @@ from repro.core.integral import mpc_maximum_matching
 from repro.core.matching_mpc import mpc_fractional_matching
 from repro.core.mis_mpc import mis_mpc
 from repro.core.rounding import round_fractional_matching
-from repro.graph.generators import gnm_random_graph
 from repro.graph.graph import Graph
 from repro.graph.properties import (
     is_matching,
@@ -26,6 +25,7 @@ from repro.graph.properties import (
     is_maximal_matching,
     is_vertex_cover,
 )
+from tests.property.strategies import graphs
 
 _SETTINGS = settings(
     max_examples=20,
@@ -34,14 +34,9 @@ _SETTINGS = settings(
 )
 
 
-@st.composite
-def random_graphs(draw, max_vertices: int = 48):
+def random_graphs(max_vertices: int = 48):
     """A random G(n, m) graph with arbitrary density."""
-    n = draw(st.integers(min_value=0, max_value=max_vertices))
-    max_edges = n * (n - 1) // 2
-    m = draw(st.integers(min_value=0, max_value=max_edges))
-    seed = draw(st.integers(min_value=0, max_value=2**31))
-    return gnm_random_graph(n, m, seed=seed)
+    return graphs(max_vertices=max_vertices)
 
 
 class TestMISInvariants:

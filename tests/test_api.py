@@ -335,6 +335,112 @@ class TestSolveMany:
         ]
 
 
+class TestSolveManyFailurePaths:
+    def test_empty_spec_list(self, tmp_path):
+        out = tmp_path / "empty.jsonl"
+        result = solve_many([], jsonl_path=out)
+        assert len(result) == 0
+        assert result.reports == [] and result.failures == []
+        assert result.elapsed_s >= 0.0
+        assert out.read_text() == ""  # file created, zero rows
+
+    def test_worker_exception_recorded_on_pool_path(self):
+        # An unregistered (task, backend) pair raises inside the worker;
+        # the pool path must record it and keep the good specs.
+        specs = [
+            RunSpec(task="mis", graph=path_graph(6), backend="greedy", seed=1),
+            RunSpec(task="mis", graph=path_graph(6), backend="central", seed=1),
+            RunSpec(task="matching", graph=path_graph(6), backend="greedy", seed=1),
+        ]
+        result = solve_many(specs, processes=2)
+        assert len(result.reports) == 2
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure["backend"] == "central"
+        assert "UnknownSolverError" in failure["error"]
+
+    def test_malformed_spec_config_recorded(self):
+        # A typed config routed to a backend that takes none is the
+        # facade's TypeError; solve_many must absorb it per-spec.
+        specs = [
+            RunSpec(
+                task="mis",
+                graph=path_graph(6),
+                backend="greedy",
+                config=MISConfig(),
+            ),
+            RunSpec(task="mis", graph=path_graph(6), backend="greedy"),
+        ]
+        result = solve_many(specs)
+        assert len(result.reports) == 1
+        assert len(result.failures) == 1
+        assert "TypeError" in result.failures[0]["error"]
+
+    def test_malformed_spec_raises_when_requested(self):
+        specs = [
+            RunSpec(
+                task="mis",
+                graph=path_graph(6),
+                backend="greedy",
+                config=MISConfig(),
+            )
+        ]
+        with pytest.raises(RuntimeError, match="spec failed"):
+            solve_many(specs, raise_on_error=True, processes=2)
+
+    def test_pool_failure_keeps_jsonl_of_successes(self, tmp_path):
+        out = tmp_path / "partial.jsonl"
+        specs = [
+            RunSpec(task="mis", graph=path_graph(6), backend="central", seed=1),
+            RunSpec(task="mis", graph=path_graph(6), backend="greedy", seed=1),
+        ]
+        result = solve_many(specs, processes=2, jsonl_path=out)
+        assert len(result.failures) == 1
+        assert len(read_jsonl(out)) == 1
+
+
+class TestRunReportSchema:
+    def test_current_schema_round_trips(self):
+        report = solve("mis", path_graph(5), backend="greedy", seed=1)
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == 2
+        assert RunReport.from_json(report.to_json()) == report
+
+    def test_version1_payload_upgraded(self):
+        report = solve("mis", path_graph(5), backend="greedy", seed=1)
+        payload = report.to_dict()
+        # A PR1/PR2-era row: no schema and none of the v2 fields.
+        for key in ("schema", "total_comm_words", "verification"):
+            payload.pop(key)
+        loaded = RunReport.from_dict(payload)
+        assert loaded.schema == 2
+        assert loaded.total_comm_words == 0
+        assert loaded.verification == {}
+        assert loaded.solution == report.solution
+
+    @pytest.mark.parametrize("bad", [0, 3, 99, "2.0", None])
+    def test_unknown_schema_rejected(self, bad):
+        report = solve("mis", path_graph(5), backend="greedy", seed=1)
+        payload = report.to_dict()
+        payload["schema"] = bad
+        with pytest.raises(ValueError, match="schema version"):
+            RunReport.from_dict(payload)
+        with pytest.raises(ValueError, match="schema version"):
+            RunReport.from_json(json.dumps(payload))
+
+    def test_constructor_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema version"):
+            RunReport(
+                task="mis",
+                backend="greedy",
+                n=1,
+                num_edges=0,
+                solution_kind="vertex_set",
+                solution=[0],
+                schema=7,
+            )
+
+
 class TestClusterSpec:
     def test_fit_matches_mis_sizing(self):
         graph = gnp_random_graph(100, 0.1, seed=1)

@@ -27,29 +27,13 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 
 
-# -- strategies -------------------------------------------------------------
+# -- strategies (shared; see tests/property/strategies.py) ------------------
 
-
-@st.composite
-def graphs(draw, max_n=24):
-    n = draw(st.integers(min_value=0, max_value=max_n))
-    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    edges = draw(st.lists(st.sampled_from(possible), max_size=60)) if possible else []
-    return Graph(n, edges)
-
-
-@st.composite
-def graphs_with_subsets(draw):
-    graph = draw(graphs())
-    n = graph.num_vertices
-    subset = draw(st.sets(st.integers(min_value=0, max_value=max(0, n - 1)))) if n else set()
-    return graph, subset
-
-
-def mask_of(subset, n):
-    mask = np.zeros(n, dtype=bool)
-    mask[list(subset)] = True
-    return mask
+from tests.property.strategies import (  # noqa: E402
+    dense_pair_graphs as graphs,
+    graphs_with_subsets,
+    mask_of,
+)
 
 
 STRUCTURED = [
@@ -104,6 +88,57 @@ class TestConversion:
         assert as_graph(graph) is graph
         assert isinstance(graph, GraphView)
         assert isinstance(csr, GraphView)
+
+
+class TestRoundTripEdgeCases:
+    """Explicit pins for the empty graph and isolated-vertex shapes.
+
+    The hypothesis strategies above can shrink past these; pinning them
+    keeps the round-trip guarantees from regressing silently.
+    """
+
+    def test_empty_graph_round_trip(self):
+        csr = CSRGraph.from_graph(Graph(0))
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+        assert csr.to_graph() == Graph(0)
+        assert csr.edge_array().shape == (0, 2)
+        assert CSRGraph.from_edges(0, []) == csr
+
+    def test_empty_graph_kernels(self):
+        csr = CSRGraph.from_graph(Graph(0))
+        assert csr.degrees().tolist() == []
+        assert csr.max_degree() == 0
+        sub, kept = csr.induced_subgraph(None)
+        assert sub.num_vertices == 0 and kept.tolist() == []
+        assert csr.remove_closed_neighborhoods([]).tolist() == []
+        assert csr.neighbors_bulk([]).tolist() == []
+
+    def test_edgeless_graph_round_trip(self):
+        graph = Graph(7)
+        csr = CSRGraph.from_graph(graph)
+        assert csr.num_vertices == 7
+        assert csr.num_edges == 0
+        assert csr.to_graph() == graph
+
+    @pytest.mark.parametrize(
+        "edges", [[(0, 1)], [(2, 3)], [(0, 1), (4, 5)]], ids=repr
+    )
+    def test_isolated_vertices_survive_round_trip(self, edges):
+        # Vertex count exceeds the touched endpoints: trailing (and
+        # leading) isolated vertices must be preserved by both directions.
+        graph = Graph(6, edges)
+        csr = CSRGraph.from_graph(graph)
+        assert csr.num_vertices == 6
+        assert csr.to_graph() == graph
+        assert CSRGraph.from_edges(6, edges) == csr
+        assert [csr.degree(v) for v in range(6)] == graph.degrees()
+
+    def test_isolated_only_induced_subgraph(self):
+        csr = CSRGraph.from_graph(Graph(6, [(0, 1), (2, 3)]))
+        sub, kept = csr.induced_subgraph([4, 5])
+        assert kept.tolist() == [4, 5]
+        assert sub.to_graph() == Graph(2)
 
 
 # -- kernel equivalence -----------------------------------------------------

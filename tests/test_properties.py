@@ -1,8 +1,16 @@
-"""Unit tests for the solution validators."""
+"""Unit tests for the solution validators.
+
+The fixed cases pin known answers; the property-based classes at the end
+(driven by the shared strategies in ``tests/property/strategies.py``)
+check the validators against independently-constructed witnesses on
+random graphs — a greedily built maximal object must pass, and a
+perturbed one must fail.
+"""
 
 import pytest
+from hypothesis import HealthCheck, assume, given, settings
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, canonical_edge
 from repro.graph.properties import (
     fractional_matching_weight,
     is_independent_set,
@@ -14,6 +22,37 @@ from repro.graph.properties import (
     matching_vertices,
     vertex_loads,
 )
+from tests.property.strategies import dense_pair_graphs, graphs
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def greedy_mis_witness(graph: Graph) -> set:
+    """Smallest-vertex-first maximal independent set."""
+    chosen: set = set()
+    blocked: set = set()
+    for v in graph.vertices():
+        if v not in blocked:
+            chosen.add(v)
+            blocked.add(v)
+            blocked |= graph.neighbors_view(v)
+    return chosen
+
+
+def greedy_matching_witness(graph: Graph) -> set:
+    """First-fit maximal matching over the canonical edge order."""
+    matched: set = set()
+    matching: set = set()
+    for u, v in graph.edge_list():
+        if u not in matched and v not in matched:
+            matching.add((u, v))
+            matched.add(u)
+            matched.add(v)
+    return matching
 
 
 @pytest.fixture
@@ -102,3 +141,82 @@ class TestFractional:
         loads = vertex_loads({(0, 1): 0.25, (1, 2): 0.5})
         assert loads[1] == pytest.approx(0.75)
         assert loads[0] == pytest.approx(0.25)
+
+
+class TestValidatorProperties:
+    """Validators vs independently-constructed witnesses on random graphs."""
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_greedy_mis_accepted(self, graph: Graph):
+        witness = greedy_mis_witness(graph)
+        assert is_independent_set(graph, witness)
+        assert is_maximal_independent_set(graph, witness)
+
+    @_SETTINGS
+    @given(graph=graphs(min_vertices=2, min_edges=1))
+    def test_shrunk_mis_rejected(self, graph: Graph):
+        witness = greedy_mis_witness(graph)
+        # Removing any covered vertex breaks maximality (its neighborhood
+        # no longer touches the set) — or independence stays but some
+        # vertex is addable.
+        smaller = witness - {min(witness)}
+        assert not is_maximal_independent_set(graph, smaller) or not smaller
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_greedy_matching_accepted(self, graph: Graph):
+        witness = greedy_matching_witness(graph)
+        assert is_matching(graph, witness)
+        assert is_maximal_matching(graph, witness)
+
+    @_SETTINGS
+    @given(graph=graphs(min_vertices=2, min_edges=1))
+    def test_overlapping_matching_rejected(self, graph: Graph):
+        u, v = next(iter(graph.edges()))
+        # Duplicate an endpoint: {u,v} plus any other edge at u or v.
+        other = next(
+            (w for w in graph.neighbors_view(u) if w != v),
+            next((w for w in graph.neighbors_view(v) if w != u), None),
+        )
+        assume(other is not None)
+        anchor = u if other in graph.neighbors_view(u) else v
+        assert not is_matching(
+            graph, [canonical_edge(u, v), canonical_edge(anchor, other)]
+        )
+
+    @_SETTINGS
+    @given(graph=dense_pair_graphs())
+    def test_matching_endpoints_cover(self, graph: Graph):
+        witness = greedy_matching_witness(graph)
+        cover = matching_vertices(witness)
+        # Endpoints of a maximal matching form a vertex cover (the
+        # classic 2-approximation argument).
+        assert is_vertex_cover(graph, cover)
+
+    @_SETTINGS
+    @given(graph=graphs(min_vertices=2, min_edges=1))
+    def test_cover_without_edge_rejected(self, graph: Graph):
+        u, v = next(iter(graph.edges()))
+        cover = set(graph.vertices()) - {u, v}
+        assert not is_vertex_cover(graph, cover)
+
+    @_SETTINGS
+    @given(graph=graphs())
+    def test_uniform_fractional_matching_feasible(self, graph: Graph):
+        # x_e = 1/max(1, Δ) keeps every vertex load at most 1.
+        cap = max(1, graph.max_degree())
+        weights = {edge: 1.0 / cap for edge in graph.edges()}
+        assert is_valid_fractional_matching(graph, weights)
+        assert fractional_matching_weight(weights) == pytest.approx(
+            graph.num_edges / cap
+        )
+        loads = vertex_loads(weights)
+        assert all(load <= 1.0 + 1e-9 for load in loads.values())
+
+    @_SETTINGS
+    @given(graph=graphs(min_vertices=2, min_edges=1))
+    def test_overloaded_fractional_rejected(self, graph: Graph):
+        u, v = next(iter(graph.edges()))
+        weights = {canonical_edge(u, v): 1.5}
+        assert not is_valid_fractional_matching(graph, weights)

@@ -1,0 +1,55 @@
+"""Nightly-scale differential stress run on the CSR-accelerated backends.
+
+Skipped by default (the full run takes on the order of a minute); enable
+with::
+
+    REPRO_RUN_SLOW=1 PYTHONPATH=src python -m pytest tests/test_verify_stress.py -m slow
+
+Every run is fully seeded, so a failure here reproduces deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import solve
+from repro.graph.generators import gnp_random_graph
+from repro.verify import BudgetPolicy
+
+RUN_SLOW = os.environ.get("REPRO_RUN_SLOW", "") not in ("", "0")
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not RUN_SLOW, reason="stress run; set REPRO_RUN_SLOW=1 to enable"
+    ),
+]
+
+N = 50_000
+SEEDS = (0, 1)
+
+# The paper's MPC algorithms — the CSR-vectorized hot paths PR 2 rewired —
+# at a size where an accidental O(n^2) scan or a budget regression is
+# unmissable.
+CASES = [
+    ("mis", "mpc"),
+    ("fractional_matching", "mpc"),
+    ("matching", "mpc"),
+    ("vertex_cover", "mpc"),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("task,backend", CASES, ids=lambda v: str(v))
+def test_stress_50k_certificates(task: str, backend: str, seed: int) -> None:
+    graph = gnp_random_graph(N, 8.0 / N, seed=seed)
+    report = solve(
+        task, graph, backend=backend, seed=seed, verify=BudgetPolicy()
+    )
+    assert report.valid, f"{task}/{backend} invalid at n={N}, seed={seed}"
+    assert report.verified, (
+        f"{task}/{backend} certificate failed at n={N}, seed={seed}: "
+        f"{[c for c in report.verification['checks'] if not c['passed']]}"
+    )
