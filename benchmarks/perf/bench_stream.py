@@ -1,0 +1,202 @@
+"""Dynamic-workload perf: incremental repair vs per-epoch full re-solve.
+
+For each (task, n) cell, a churn stream mutates ``churn`` of the edges
+per batch; two pipelines consume the identical batch sequence:
+
+* **repair** — :class:`repro.stream.Maintainer.step` (overlay apply +
+  compaction + localized repair, the incremental hot path);
+* **resolve** — what serving the same stream *without* the stream
+  subsystem costs: materialize the post-batch graph and run a full
+  :func:`repro.api.solve` each epoch.
+
+Per-epoch wall times are averaged over the stream and the speedup
+recorded; the acceptance bar for the committed full rung is >= 5x at
+``n >= 20_000`` with <= 1% churn.  ``--check`` compares a fresh run
+against a committed baseline and fails if any cell's speedup drops
+below ``--floor`` (CI runs the small rung with a conservative floor).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_stream.py --rung full \
+        --out benchmarks/perf/BENCH_stream.json
+    PYTHONPATH=src python benchmarks/perf/bench_stream.py --rung small \
+        --check benchmarks/perf/BENCH_stream.json --floor 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List
+
+if __package__ in (None, ""):
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from perf.common import (
+    environment_stamp,
+    ladder_graph,
+    read_json,
+    result_key,
+    write_json,
+)
+
+STREAM_SEED = 7
+CHURN_FRACTION = 0.01  # <= 1% of edges per batch (the acceptance regime)
+EPOCHS = 4
+KEY_FIELDS = ("task", "family", "n")
+
+STREAM_RUNGS: Dict[str, List[int]] = {
+    "small": [2_000, 5_000],
+    "full": [5_000, 20_000, 50_000],
+}
+
+# Tasks with maintainers; caps keep the resolve side of the full rung
+# tractable (it pays EPOCHS full solves per cell).
+CELLS: List[Dict[str, Any]] = [
+    {"task": "mis", "family": "random", "max_n": 50_000},
+    {"task": "matching", "family": "random", "max_n": 20_000},
+    {"task": "fractional_matching", "family": "random", "max_n": 20_000},
+]
+
+
+def run_cell(task: str, family: str, n: int) -> Dict[str, Any]:
+    from repro.stream.dynamic import DynamicGraph
+    from repro.stream.maintain import make_maintainer
+    from repro.stream.updates import churn_batches
+
+    initial = ladder_graph(family, n)
+    batches = list(
+        churn_batches(
+            initial, epochs=EPOCHS, churn_fraction=CHURN_FRACTION, seed=STREAM_SEED
+        )
+    )
+
+    # Incremental pipeline.
+    maintainer = make_maintainer(task, initial, seed=STREAM_SEED)
+    maintainer.initialize()
+    repair_times: List[float] = []
+    resolves = 0
+    for batch in batches:
+        stats = maintainer.step(batch)
+        repair_times.append(stats.wall_time_s)
+        resolves += stats.action == "resolve"
+
+    # Full re-solve pipeline on the identical stream: apply the batch,
+    # then pay graph materialization + a from-scratch solve — the cost
+    # of serving the stream with only the static façade.
+    from repro.api import solve
+
+    dyn = DynamicGraph(initial)
+    resolve_times: List[float] = []
+    for batch in batches:
+        started = time.perf_counter()
+        dyn.apply_edges(batch.insertions, batch.deletions)
+        dyn.compact()
+        solve(task, dyn.to_graph(), seed=STREAM_SEED)
+        resolve_times.append(time.perf_counter() - started)
+
+    repair_s = sum(repair_times) / len(repair_times)
+    resolve_s = sum(resolve_times) / len(resolve_times)
+    return {
+        "task": task,
+        "family": family,
+        "n": n,
+        "m": initial.num_edges,
+        "churn": CHURN_FRACTION,
+        "epochs": EPOCHS,
+        "repair_s": repair_s,
+        "resolve_s": resolve_s,
+        "speedup": round(resolve_s / repair_s, 2) if repair_s else float("inf"),
+        "fallback_resolves": resolves,
+    }
+
+
+def run_suite(rung: str) -> List[Dict[str, Any]]:
+    results = []
+    for cell in CELLS:
+        for n in STREAM_RUNGS[rung]:
+            if n > cell["max_n"]:
+                continue
+            entry = run_cell(cell["task"], cell["family"], n)
+            results.append(entry)
+            print(
+                f"{entry['task']:20s} {entry['family']:9s} n={n:>7d} "
+                f"repair={1000 * entry['repair_s']:8.2f}ms "
+                f"resolve={entry['resolve_s']:7.2f}s "
+                f"speedup={entry['speedup']:8.1f}x",
+                flush=True,
+            )
+    return results
+
+
+def check_against(
+    results: List[Dict[str, Any]], baseline_path: str, floor: float
+) -> int:
+    """Fail if any cell's speedup fell below ``floor`` (or a baseline cell
+    regressed to below half its committed speedup)."""
+    baseline = read_json(baseline_path)
+    committed = {
+        result_key(entry, KEY_FIELDS): entry for entry in baseline["results"]
+    }
+    status = 0
+    for entry in results:
+        key = result_key(entry, KEY_FIELDS)
+        if entry["speedup"] < floor:
+            print(
+                f"FAIL {key}: speedup {entry['speedup']}x below floor {floor}x"
+            )
+            status = 1
+        reference = committed.get(key)
+        if reference and entry["speedup"] < reference["speedup"] / 2:
+            print(
+                f"FAIL {key}: speedup {entry['speedup']}x regressed >2x vs "
+                f"committed {reference['speedup']}x"
+            )
+            status = 1
+    if status == 0:
+        print(f"all {len(results)} cells at or above {floor}x")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rung", choices=sorted(STREAM_RUNGS), default="small")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument(
+        "--check", help="compare against this committed baseline and gate"
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=2.0,
+        help="minimum acceptable speedup in --check mode (default 2.0)",
+    )
+    parser.add_argument(
+        "--label", default="current", help="label recorded in the output"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.rung)
+    if args.out:
+        write_json(
+            args.out,
+            {
+                "schema": 1,
+                "suite": "stream",
+                "label": args.label,
+                "rung": args.rung,
+                "environment": environment_stamp(),
+                "results": results,
+            },
+        )
+        print(f"wrote {args.out}")
+    if args.check:
+        return check_against(results, args.check, args.floor)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

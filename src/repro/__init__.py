@@ -62,7 +62,14 @@ from repro.core import (
     mpc_weighted_matching,
 )
 from repro.congested_clique import CCMISResult, congested_clique_mis
-from repro.api import RunReport, solve, solve_many, sweep
+from repro.api import (
+    RunReport,
+    StreamReport,
+    solve,
+    solve_many,
+    solve_stream,
+    sweep,
+)
 from repro.mpc.spec import ClusterSpec
 
 __version__ = "1.0.0"
@@ -71,7 +78,9 @@ __all__ = [
     "solve",
     "solve_many",
     "sweep",
+    "solve_stream",
     "RunReport",
+    "StreamReport",
     "ClusterSpec",
     "Graph",
     "WeightedGraph",

@@ -21,6 +21,11 @@ seeds, optional process pool, streaming JSONL), and ``python -m repro.api``
 exposes both from the shell.  Cluster sizing for every backend flows
 through :class:`ClusterSpec`, the single home of the
 memory-factor → machines/words derivation.
+
+Dynamic workloads go through :func:`solve_stream` (re-exported from
+:mod:`repro.stream`): an initial :func:`solve` plus incremental
+maintenance across a stream of edge batches, reported as a
+schema-versioned :class:`StreamReport`.
 """
 
 from repro.api.facade import solve
@@ -40,8 +45,15 @@ from repro.mpc.spec import ClusterSpec
 # Importing the adapters module populates the global registry.
 import repro.api.adapters  # noqa: E402,F401  (registration side effect)
 
+# Last: repro.stream's modules import repro.api lazily (inside functions),
+# so pulling the stream entry points in here is cycle-free only once the
+# façade above is fully bound.
+from repro.stream.driver import StreamReport, solve_stream  # noqa: E402
+
 __all__ = [
     "solve",
+    "solve_stream",
+    "StreamReport",
     "solve_many",
     "sweep",
     "read_jsonl",

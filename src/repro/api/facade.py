@@ -144,17 +144,31 @@ def solve(
     return report
 
 
+# getrusage().ru_maxrss unit per platform: macOS reports bytes; Linux and
+# the BSDs report kibibytes (so do AIX and Solaris where the field is
+# filled at all).  Unknown POSIX platforms get the KiB majority reading.
+_RU_MAXRSS_UNITS = {"darwin": 1}
+_RU_MAXRSS_DEFAULT_UNIT = 1024
+
+
+def _ru_maxrss_unit(platform: Optional[str] = None) -> int:
+    """Bytes per ``ru_maxrss`` unit on ``platform`` (default: this one)."""
+    name = sys.platform if platform is None else platform
+    return _RU_MAXRSS_UNITS.get(name, _RU_MAXRSS_DEFAULT_UNIT)
+
+
 def _peak_rss_bytes() -> int:
     """Peak resident-set size of this process, in bytes (0 if unknown).
 
     ``ru_maxrss`` is a process-lifetime high-water mark, so sweeps should
-    read it as "memory needed to get this far", not a per-run delta.
+    read it as "memory needed to get this far", not a per-run delta.  The
+    raw value is platform-dependent (:data:`_RU_MAXRSS_UNITS`); the
+    report field is normalized to bytes everywhere.
     """
     if resource is None:
         return 0
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes; macOS reports bytes.
-    return int(peak if sys.platform == "darwin" else peak * 1024)
+    return int(peak * _ru_maxrss_unit())
 
 
 def _prepare_graph(entry: SolverEntry, graph: GraphLike) -> GraphLike:

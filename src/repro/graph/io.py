@@ -1,42 +1,91 @@
-"""Plain-text edge-list I/O.
+"""Plain-text edge-list I/O, with optional gzip compression.
 
 Format: optional comment lines starting with ``#``, then one ``u v`` pair
 per line; a header line ``n <num_vertices>`` may pin the vertex count so
-trailing isolated vertices survive a round-trip.
+trailing isolated vertices survive a round-trip.  Paths ending in ``.gz``
+are transparently gzip-compressed on write and decompressed on read.
+
+:func:`read_edge_list` materializes the whole graph; streaming consumers
+(:mod:`repro.stream` file replay) use :func:`iter_edge_list`, which yields
+bounded chunks of edges without ever holding the full file in memory.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterator, List, Tuple, Union
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Edge, Graph
 
 PathLike = Union[str, Path]
 
+# An edge-list chunk: (num_vertices seen so far, edges in this chunk).
+# The vertex count is cumulative — header-declared or implied by the
+# largest endpoint read up to and including this chunk — so a consumer
+# can size its graph correctly after every chunk.
+EdgeChunk = Tuple[int, List[Edge]]
+
+DEFAULT_CHUNK_EDGES = 65536
+
+
+def open_text(path: PathLike, mode: str) -> IO[str]:
+    """Open ``path`` as text, transparently gzipped for ``.gz`` suffixes."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
 
 def write_edge_list(graph: Graph, path: PathLike) -> None:
-    """Write ``graph`` to ``path`` in edge-list format."""
-    lines = [f"n {graph.num_vertices}"]
-    lines.extend(f"{u} {v}" for u, v in graph.edges())
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    """Write ``graph`` to ``path`` in edge-list format (gzipped if ``.gz``)."""
+    with open_text(path, "w") as stream:
+        stream.write(f"n {graph.num_vertices}\n")
+        for u, v in graph.edges():
+            stream.write(f"{u} {v}\n")
+
+
+def iter_edge_list(
+    path: PathLike, chunk_edges: int = DEFAULT_CHUNK_EDGES
+) -> Iterator[EdgeChunk]:
+    """Stream an edge list as ``(num_vertices, edges)`` chunks.
+
+    Reads line-by-line, so files far larger than memory replay fine; each
+    yielded chunk holds at most ``chunk_edges`` edges.  At least one chunk
+    is always yielded (possibly with an empty edge list), so the declared
+    vertex count of an edge-free file still reaches the consumer.
+    """
+    if chunk_edges <= 0:
+        raise ValueError(f"chunk_edges must be positive, got {chunk_edges}")
+    num_vertices = 0
+    chunk: List[Edge] = []
+    yielded = False
+    with open_text(path, "r") as stream:
+        for raw_line in stream:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("n "):
+                num_vertices = max(num_vertices, int(line.split()[1]))
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed edge line: {raw_line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            chunk.append((u, v))
+            num_vertices = max(num_vertices, u + 1, v + 1)
+            if len(chunk) >= chunk_edges:
+                yield num_vertices, chunk
+                yielded = True
+                chunk = []
+    if chunk or not yielded:
+        yield num_vertices, chunk
 
 
 def read_edge_list(path: PathLike) -> Graph:
     """Read a graph written by :func:`write_edge_list` (or any ``u v`` list)."""
     num_vertices = 0
-    edges = []
-    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        if line.startswith("n "):
-            num_vertices = int(line.split()[1])
-            continue
-        parts = line.split()
-        if len(parts) != 2:
-            raise ValueError(f"malformed edge line: {raw_line!r}")
-        u, v = int(parts[0]), int(parts[1])
-        edges.append((u, v))
-        num_vertices = max(num_vertices, u + 1, v + 1)
+    edges: List[Edge] = []
+    for seen_vertices, chunk in iter_edge_list(path):
+        num_vertices = seen_vertices
+        edges.extend(chunk)
     return Graph(num_vertices, edges)

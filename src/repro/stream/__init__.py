@@ -1,0 +1,78 @@
+"""``repro.stream`` — dynamic graph updates + incremental maintenance.
+
+The static solvers answer "what is the MIS of this graph"; this subsystem
+answers "keep the MIS correct while the graph changes":
+
+* :class:`DynamicGraph` — a mutable delta overlay over the immutable CSR
+  layout, compacted back to CSR at epoch boundaries so the vectorized
+  kernels stay the hot path;
+* :class:`EdgeBatch` + stream sources (:mod:`repro.stream.updates`) —
+  the typed update model: file replay (edge lists, JSONL), sliding
+  windows, synthetic growth and churn;
+* :class:`Maintainer` subclasses (:mod:`repro.stream.maintain`) —
+  per-task incremental repair with a damage-threshold fallback to the
+  full :func:`repro.api.solve`;
+* :func:`solve_stream` / :class:`StreamReport`
+  (:mod:`repro.stream.driver`) — the façade entry point and its
+  schema-versioned, per-epoch-certified report.
+
+``python -m repro.stream`` replays workloads from the shell;
+``python -m repro.stream --check`` runs the stream conformance matrix
+(see STREAMING.md).
+"""
+
+from repro.stream.dynamic import DynamicGraph
+from repro.stream.driver import (
+    STREAM_SCHEMA_VERSION,
+    EpochRecord,
+    StreamReport,
+    read_stream_jsonl,
+    solve_stream,
+)
+from repro.stream.maintain import (
+    MAINTAINERS,
+    EpochStats,
+    FractionalMatchingMaintainer,
+    Maintainer,
+    MatchingMaintainer,
+    MISMaintainer,
+    VertexCoverMaintainer,
+    make_maintainer,
+)
+from repro.stream.updates import (
+    SCENARIOS,
+    EdgeBatch,
+    churn_batches,
+    growth_batches,
+    make_scenario,
+    read_batches_jsonl,
+    replay_edge_list,
+    sliding_window_batches,
+    write_batches_jsonl,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeBatch",
+    "EpochRecord",
+    "EpochStats",
+    "FractionalMatchingMaintainer",
+    "MAINTAINERS",
+    "MISMaintainer",
+    "Maintainer",
+    "MatchingMaintainer",
+    "SCENARIOS",
+    "STREAM_SCHEMA_VERSION",
+    "StreamReport",
+    "VertexCoverMaintainer",
+    "churn_batches",
+    "growth_batches",
+    "make_maintainer",
+    "make_scenario",
+    "read_batches_jsonl",
+    "read_stream_jsonl",
+    "replay_edge_list",
+    "sliding_window_batches",
+    "solve_stream",
+    "write_batches_jsonl",
+]

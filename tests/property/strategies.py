@@ -13,7 +13,11 @@ same way everywhere:
   the mask/induced-subgraph parity checks;
 * :func:`dense_pair_graphs` — small graphs drawn by sampling explicit
   vertex pairs (hits duplicate-edge and near-clique shapes ``G(n, m)``
-  rarely produces).
+  rarely produces);
+* :func:`graphs_with_batches` — a graph plus a random
+  :class:`~repro.stream.updates.EdgeBatch` sequence (inserts, deletes of
+  present and absent edges, vertex growth), for the dynamic-overlay and
+  maintainer properties.
 
 ``mask_of`` converts a subset to the boolean mask shape the CSR kernels
 take.
@@ -92,3 +96,43 @@ def mask_of(subset, n: int) -> np.ndarray:
     mask = np.zeros(n, dtype=bool)
     mask[list(subset)] = True
     return mask
+
+
+@st.composite
+def graphs_with_batches(
+    draw,
+    max_vertices: int = 24,
+    max_batches: int = 5,
+    max_edits: int = 12,
+    max_growth: int = 3,
+):
+    """A graph plus a random batch sequence to stream onto it.
+
+    Batches mix insertions and deletions of arbitrary pairs (present or
+    not — the overlay must treat the misses as no-ops) and occasionally
+    append vertices; endpoints may target grown vertices of earlier
+    batches.
+    """
+    from repro.stream.updates import EdgeBatch
+
+    graph = draw(dense_pair_graphs(max_vertices=max_vertices))
+    n = graph.num_vertices
+    batches = []
+    for index in range(draw(st.integers(min_value=0, max_value=max_batches))):
+        growth = draw(st.integers(min_value=0, max_value=max_growth))
+        n += growth
+        pair = st.tuples(
+            st.integers(min_value=0, max_value=max(n - 1, 0)),
+            st.integers(min_value=0, max_value=max(n - 1, 0)),
+        ).filter(lambda uv: uv[0] != uv[1])
+        insertions = draw(st.lists(pair, max_size=max_edits)) if n >= 2 else []
+        deletions = draw(st.lists(pair, max_size=max_edits)) if n >= 2 else []
+        batches.append(
+            EdgeBatch.make(
+                insertions=insertions,
+                deletions=deletions,
+                new_vertices=growth,
+                timestamp=float(index),
+            )
+        )
+    return graph, batches

@@ -539,3 +539,31 @@ class TestCLI:
         assert parse_graph_spec("complete:n=5").num_edges == 10
         with pytest.raises(ValueError):
             parse_graph_spec("gnp:n==5")
+
+
+class TestPeakRssNormalization:
+    """ru_maxrss units differ per platform; the report field is bytes."""
+
+    def test_darwin_reports_bytes(self):
+        from repro.api.facade import _ru_maxrss_unit
+
+        assert _ru_maxrss_unit("darwin") == 1
+
+    def test_linux_and_bsds_report_kib(self):
+        from repro.api.facade import _ru_maxrss_unit
+
+        for platform in ("linux", "freebsd13", "openbsd7", "netbsd"):
+            assert _ru_maxrss_unit(platform) == 1024
+
+    def test_current_platform_measurement_is_plausible_bytes(self):
+        from repro.api.facade import _peak_rss_bytes
+
+        peak = _peak_rss_bytes()
+        # A running CPython interpreter occupies at least a few MiB; a
+        # KiB-valued reading slipping through unconverted would fail this.
+        assert peak > 4 * 2**20
+        assert peak < 2**40
+
+    def test_report_carries_normalized_bytes(self):
+        report = solve("mis", path_graph(8), backend="greedy")
+        assert report.peak_rss_bytes > 4 * 2**20

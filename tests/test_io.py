@@ -1,9 +1,12 @@
 """Unit tests for edge-list I/O."""
 
+import gzip
+
 import pytest
 
+from repro.graph.generators import gnm_random_graph
 from repro.graph.graph import Graph
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import iter_edge_list, read_edge_list, write_edge_list
 
 
 class TestRoundTrip:
@@ -31,3 +34,63 @@ class TestRoundTrip:
         path.write_text("0 1 2\n")
         with pytest.raises(ValueError):
             read_edge_list(path)
+
+
+class TestGzip:
+    def test_gz_round_trip(self, tmp_path):
+        g = Graph(8, [(0, 1), (2, 7), (3, 4)])
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        g = gnm_random_graph(50, 200, seed=1)
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        with gzip.open(path, "rt", encoding="utf-8") as stream:
+            assert stream.readline().startswith("n 50")
+
+    def test_read_external_gz(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            stream.write("# c\n0 1\n1 2\n")
+        assert read_edge_list(path).num_edges == 2
+
+
+class TestIterEdgeList:
+    def test_chunks_are_bounded_and_complete(self, tmp_path):
+        g = gnm_random_graph(40, 100, seed=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        chunks = list(iter_edge_list(path, chunk_edges=7))
+        assert all(len(edges) <= 7 for _, edges in chunks)
+        collected = [e for _, edges in chunks for e in edges]
+        assert sorted(collected) == g.edge_list()
+
+    def test_vertex_count_is_cumulative(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n8 9\n2 3\n")
+        counts = [n for n, _ in iter_edge_list(path, chunk_edges=1)]
+        assert counts == [2, 10, 10]
+
+    def test_header_reaches_consumer_even_without_edges(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("n 12\n# nothing else\n")
+        chunks = list(iter_edge_list(path))
+        assert chunks == [(12, [])]
+
+    def test_parity_with_read_edge_list(self, tmp_path):
+        g = gnm_random_graph(30, 60, seed=3)
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        streamed_n = 0
+        edges = []
+        for streamed_n, chunk in iter_edge_list(path, chunk_edges=11):
+            edges.extend(chunk)
+        assert Graph(streamed_n, edges) == read_edge_list(path)
+
+    def test_invalid_chunk_size(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="chunk_edges"):
+            list(iter_edge_list(path, chunk_edges=0))
