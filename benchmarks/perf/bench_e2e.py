@@ -39,6 +39,13 @@ KEY_FIELDS = ("task", "backend", "family", "n")
 # The grid: per pair, which families run and up to which n.  The expensive
 # pairs are capped so the full rung stays tractable; the caps are part of
 # the committed trajectory, so successive PRs compare identical cells.
+#
+# Since PR 5 the grid covers all five registry backends.  Family choices
+# follow each backend's load-bearing regime: the CONGESTED-CLIQUE rows run
+# the "dense" family at scale (prefix phases routing Θ(n) volume — at
+# average degree 20 the rank schedule is empty and nothing routes), the
+# Pregel rows run the sparse families (message volume ~ 2m per superstep),
+# and the centralized references are capped where their asymptotics bite.
 PAIRS: List[Dict[str, Any]] = [
     {"task": "mis", "backend": "mpc", "family": "random", "max_n": 100_000},
     {"task": "mis", "backend": "mpc", "family": "powerlaw", "max_n": 100_000},
@@ -55,6 +62,41 @@ PAIRS: List[Dict[str, Any]] = [
         "max_n": 20_000,
     },
     {"task": "matching", "backend": "mpc", "family": "random", "max_n": 5_000},
+    {
+        "task": "mis",
+        "backend": "congested_clique",
+        "family": "dense",
+        "max_n": 50_000,
+    },
+    {
+        "task": "mis",
+        "backend": "congested_clique",
+        "family": "random",
+        "max_n": 5_000,
+    },
+    {
+        "task": "fractional_matching",
+        "backend": "congested_clique",
+        "family": "random",
+        "max_n": 5_000,
+    },
+    {"task": "mis", "backend": "pregel", "family": "random", "max_n": 50_000},
+    # The matching program and the hub-heavy Luby runs are draw-bound: one
+    # SHA+MT draw per live vertex per round is pinned by byte-identical
+    # output preservation (~6 µs each), which caps their e2e gain near 4x.
+    # Their scale rows would track the draw floor, not the vectorization,
+    # so they stay on the small rung (see PERFORMANCE.md, "Who runs on it").
+    {"task": "mis", "backend": "pregel", "family": "powerlaw", "max_n": 5_000},
+    {"task": "matching", "backend": "pregel", "family": "random", "max_n": 5_000},
+    {"task": "mis", "backend": "greedy", "family": "random", "max_n": 100_000},
+    {"task": "matching", "backend": "greedy", "family": "random", "max_n": 100_000},
+    {
+        "task": "fractional_matching",
+        "backend": "central",
+        "family": "random",
+        "max_n": 5_000,
+    },
+    {"task": "matching", "backend": "central", "family": "random", "max_n": 1_000},
 ]
 
 

@@ -102,6 +102,20 @@ def kernel_cases(
             removed |= graph.neighbors_view(v)
         return removed
 
+    # Fixed-size tiny batch: exercises the slice-concatenation fast path
+    # below ``SMALL_GATHER_ROWS`` (the n=1k regression in earlier baselines
+    # came from paying the ragged-gather arithmetic on ~10 rows).  The 1%
+    # case above crosses over to the vectorized gather as n grows; this one
+    # pins the small-batch regime at every n.
+    small_centers = centers[:8]
+
+    def set_remove_closed_small():
+        removed = set()
+        for v in small_centers:
+            removed.add(v)
+            removed |= graph.neighbors_view(v)
+        return removed
+
     def set_count_within():
         return sum(
             1
@@ -131,6 +145,11 @@ def kernel_cases(
             "remove_closed_neighborhoods",
             set_remove_closed,
             lambda: csr.remove_closed_neighborhoods(centers),
+        ),
+        (
+            "remove_closed_neighborhoods_small",
+            set_remove_closed_small,
+            lambda: csr.remove_closed_neighborhoods(small_centers),
         ),
         ("count_edges_within", set_count_within, lambda: csr.count_edges_within(mask)),
         (

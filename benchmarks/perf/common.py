@@ -29,7 +29,8 @@ E2E_RUNGS: Dict[str, List[int]] = {
     "full": [1_000, 5_000, 20_000, 50_000],
 }
 
-AVERAGE_DEGREE = 20  # target average degree for both families
+AVERAGE_DEGREE = 20  # target average degree for the sparse families
+DENSE_DEGREE = 500  # average degree of the "dense" routing-bound family
 
 
 def ladder_graph(family: str, n: int) -> Graph:
@@ -37,13 +38,20 @@ def ladder_graph(family: str, n: int) -> Graph:
 
     ``random`` is Erdős–Rényi with average degree ~20; ``powerlaw`` is
     Barabási–Albert with attachment 10 (also average degree ~20), the
-    heterogeneous-degree "social network" workload.
+    heterogeneous-degree "social network" workload.  ``dense`` is
+    Erdős–Rényi with average degree ~500 — the regime where the
+    CONGESTED-CLIQUE prefix phases actually route Θ(n) edge volume per
+    phase (at degree ~20 the rank schedule is empty and the run is all
+    sparsified finish).
     """
     if family == "random":
         p = min(1.0, AVERAGE_DEGREE / max(1, n - 1))
         return gnp_random_graph(n, p, seed=GRAPH_SEED + n)
     if family == "powerlaw":
         return barabasi_albert(n, AVERAGE_DEGREE // 2, seed=GRAPH_SEED + n)
+    if family == "dense":
+        p = min(1.0, DENSE_DEGREE / max(1, n - 1))
+        return gnp_random_graph(n, p, seed=GRAPH_SEED + n)
     raise ValueError(f"unknown graph family {family!r}")
 
 

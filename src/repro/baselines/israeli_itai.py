@@ -4,13 +4,27 @@ Classic two-step round: every unmatched vertex proposes along a random
 incident live edge; mutual/colliding proposals are resolved by random edge
 priorities, the locally-minimal proposed edges join the matching, and
 matched vertices leave.  Terminates when no live edge remains.
+
+Hot-path layout: the residual lives as a ``live`` vertex mask over one
+CSR.  Per round, the live adjacency is compacted in one vectorized pass
+(rows stay ascending, matching the historical ``sorted(neighbors)``), the
+per-vertex proposal draws walk that compact structure in the same vertex
+order and through the same ``rng.choice`` consumption as before, and the
+winner resolution — previously a scan of every edge adjacent to every
+proposal — is one per-endpoint ``minimum.at`` pass.  Seeded outputs are
+bit-for-bit identical to the historical set-based implementation (the
+proposal set and its iteration order, which feeds the priority draws, are
+reproduced exactly; pinned in ``tests/test_backend_parity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Edge, Graph, canonical_edge
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
@@ -32,48 +46,68 @@ def israeli_itai_matching(
 ) -> IsraeliItaiResult:
     """Run the Israeli–Itai process to a maximal matching."""
     rng = make_rng(seed)
-    residual = graph.copy()
+    n = graph.num_vertices
+    csr = CSRGraph.from_graph(graph)
+    src = csr.src
+    dst = csr.indices
+    live = np.ones(n, dtype=bool)
+    live_slots = np.ones(len(dst), dtype=bool)
     matching: Set[Edge] = set()
     rounds = 0
-    cap = max_rounds if max_rounds is not None else 64 * (graph.num_vertices + 2)
+    cap = max_rounds if max_rounds is not None else 64 * (n + 2)
 
-    while residual.num_edges > 0:
+    while live_slots.any():
         if rounds >= cap:
             raise RuntimeError("Israeli-Itai exceeded its round cap")
         rounds += 1
+        # Compact live adjacency: rows keep their ascending order, so the
+        # historical ``sorted(neighbors)`` is exactly each compacted row.
+        flat = dst[live_slots]
+        counts = np.bincount(src[live_slots], minlength=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
         # Step 1: every vertex with live edges proposes along a random one.
+        # Vertex order and rng consumption match the set-based loop.
         proposals: Set[Edge] = set()
-        for v in residual.vertices():
-            neighbors = residual.neighbors_view(v)
-            if neighbors:
-                u = rng.choice(sorted(neighbors))
-                proposals.add(canonical_edge(v, u))
-        # Step 2: proposed edges draw random priorities; an edge wins when
-        # it beats every adjacent proposed edge.
-        priority: Dict[Edge, float] = {e: rng.random() for e in proposals}
-        winners: Set[Edge] = set()
-        for edge in proposals:
-            u, v = edge
-            beaten = False
-            for w in (u, v):
-                for x in residual.neighbors_view(w):
-                    other = canonical_edge(w, x)
-                    if other != edge and other in priority and priority[other] < priority[edge]:
-                        beaten = True
-                        break
-                if beaten:
-                    break
-            if not beaten:
-                winners.add(edge)
-        for u, v in winners:
-            if residual.degree(u) == 0 and residual.degree(v) == 0:
-                continue  # a prior winner this round already cleared them
-            if not residual.has_edge(u, v):
-                continue
-            matching.add((u, v))
-            residual.isolate(u)
-            residual.isolate(v)
+        for v in np.flatnonzero(counts).tolist():
+            u = int(rng.choice(flat[offsets[v] : offsets[v + 1]]))
+            proposals.add(canonical_edge(v, u))
+        # Step 2: proposed edges draw random priorities (in proposal-set
+        # iteration order, which the priority stream depends on); an edge
+        # wins when it beats every adjacent proposed edge.
+        ordered = list(proposals)
+        priority = np.fromiter(
+            (rng.random() for _ in ordered), dtype=np.float64, count=len(ordered)
+        )
+        pu = np.fromiter((e[0] for e in ordered), dtype=np.int64, count=len(ordered))
+        pv = np.fromiter((e[1] for e in ordered), dtype=np.int64, count=len(ordered))
+        best_at = np.full(n, np.inf)
+        np.minimum.at(best_at, pu, priority)
+        np.minimum.at(best_at, pv, priority)
+        beaten = (best_at[pu] < priority) | (best_at[pv] < priority)
+        winner_u = pu[~beaten]
+        winner_v = pv[~beaten]
+        # Winners are pairwise non-adjacent (each is a strict local
+        # priority minimum), so the historical re-check guards never fire —
+        # except on an exact priority collision between adjacent proposals,
+        # where the set-based code kept whichever it applied first.
+        endpoints = np.concatenate((winner_u, winner_v))
+        if len(np.unique(endpoints)) != len(endpoints):
+            winners = list(zip(winner_u.tolist(), winner_v.tolist()))
+            for u, v in winners:
+                if live[u] and live[v]:
+                    matching.add((u, v))
+                    live[u] = False
+                    live[v] = False
+        else:
+            matching.update(zip(winner_u.tolist(), winner_v.tolist()))
+            live[winner_u] = False
+            live[winner_v] = False
+        live_slots &= live[src] & live[dst]
         maybe_record(
-            trace, "israeli_itai_round", round=rounds, live_edges=residual.num_edges
+            trace,
+            "israeli_itai_round",
+            round=rounds,
+            live_edges=int(np.count_nonzero(live_slots)) // 2,
         )
     return IsraeliItaiResult(matching=matching, rounds=rounds)

@@ -13,6 +13,18 @@ Follows Section 3.2's CONGESTED-CLIQUE simulation verbatim:
 3. The sparsified finish runs the compressed Luby process with the same
    exponentiation schedule as the MPC version (ball-doubling works
    identically in CONGESTED-CLIQUE).
+
+Hot-path layout: the input graph is never copied and never mutated.  The
+residual is an ``alive`` boolean mask (valid because greedy deletion only
+ever isolates vertices), routed edge messages are flat NumPy endpoint
+arrays validated by ``bincount`` (:func:`lenzen_route_arrays`), the
+leader's greedy runs on a prefix-induced CSR
+(:func:`greedy_mis_on_prefix_csr`), and the sparsified finish receives the
+residual as a mask-filtered CSR built directly from the adjacency sets —
+the prefix phases themselves touch only ``O(Σ deg(prefix ∪ winners))``
+adjacency entries, so no full-graph conversion is paid up front.  Outputs
+(MIS, rounds, routed volumes) are bit-for-bit identical to the historical
+tuple-routing implementation; ``tests/test_backend_parity.py`` pins this.
 """
 
 from __future__ import annotations
@@ -20,11 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+import numpy as np
+
 from repro.congested_clique.model import CongestedClique
-from repro.congested_clique.routing import lenzen_route
+from repro.congested_clique.routing import lenzen_route_arrays
 from repro.core.config import MISConfig
-from repro.core.greedy_mis import greedy_mis_on_prefix
+from repro.core.greedy_mis import greedy_mis_on_prefix_csr
 from repro.core.sparsified_mis import sparsified_mis
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
@@ -60,74 +75,91 @@ def congested_clique_mis(
     # broadcast their own position so the full order is common knowledge.
     permutation = list(range(n))
     rng.shuffle(permutation)
-    ranks = [0] * n
-    for position, v in enumerate(permutation):
-        ranks[v] = position
-    clique.round_of_messages(
-        ((0, v, 1) for v in range(n)), context="mis: leader assigns ranks"
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[permutation] = np.arange(n, dtype=np.int64)
+    clique.round_of_messages_array(
+        np.zeros(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        context="mis: leader assigns ranks",
     )
     clique.broadcast_round(context="mis: players broadcast ranks")
 
     from repro.core.mis_mpc import rank_schedule  # local import avoids a cycle
 
-    residual = graph.copy()
+    # ``alive`` mirrors the historical residual graph (False = isolated by
+    # a removed closed neighborhood); ``decided`` additionally covers
+    # dominated prefix vertices whose edges survive.
+    alive = np.ones(n, dtype=bool)
+    decided = np.zeros(n, dtype=bool)
     mis: Set[int] = set()
-    decided: Set[int] = set()
     cutoffs = rank_schedule(n, graph.max_degree(), config)
     routed_sizes: List[int] = []
     previous_cutoff = 0
 
     for phase_index, cutoff in enumerate(cutoffs):
-        prefix = [
-            v
-            for v in range(n)
-            if previous_cutoff <= ranks[v] < cutoff and v not in decided
-        ]
-        prefix_set = set(prefix)
-        # Each prefix player routes its prefix-internal residual edges to the
-        # leader; Lenzen's scheme validates the O(n) volume requirement.
-        edge_messages = []
-        for v in prefix:
-            for u in residual.neighbors_view(v):
-                if u in prefix_set and u > v:
-                    edge_messages.append((v, 0, (v, u)))
+        window = (ranks >= previous_cutoff) & (ranks < cutoff) & ~decided
+        prefix = np.flatnonzero(window)
+        # Each prefix player routes its prefix-internal residual edges to
+        # the leader.  Prefix vertices are undecided, hence never isolated,
+        # so those residual edges coincide with original-graph edges — read
+        # straight off the adjacency sets, no residual copy needed.
+        endpoint_lo: List[int] = []
+        endpoint_hi: List[int] = []
+        for v in prefix.tolist():
+            for u in graph.neighbors_view(v):
+                if u > v and window[u]:
+                    endpoint_lo.append(v)
+                    endpoint_hi.append(u)
+        senders = np.asarray(endpoint_lo, dtype=np.int64)
+        partners = np.asarray(endpoint_hi, dtype=np.int64)
         # The leader receives the whole prefix subgraph — O(n) messages
         # w.h.p. (Lemma 3.1), i.e. a constant number of Lenzen invocations,
         # each of which is volume-validated by the routing scheme.
-        for start in range(0, max(1, len(edge_messages)), n):
-            lenzen_route(
+        for start in range(0, max(1, len(senders)), n):
+            chunk = senders[start : start + n]
+            lenzen_route_arrays(
                 clique,
-                edge_messages[start : start + n],
+                chunk,
+                np.zeros(len(chunk), dtype=np.int64),
                 context=f"mis: phase {phase_index} edges to leader",
             )
-        routed_sizes.append(len(edge_messages))
+        routed_sizes.append(len(senders))
 
-        new_mis = greedy_mis_on_prefix(residual, ranks, prefix)
-        clique.round_of_messages(
-            ((0, v, 1) for v in prefix),
+        # Leader's greedy over the prefix, on the prefix-induced CSR (the
+        # greedy outcome depends only on prefix-internal adjacency).
+        prefix_csr = CSRGraph.from_edge_array(
+            n, np.column_stack((senders, partners))
+        )
+        new_mis = greedy_mis_on_prefix_csr(prefix_csr, ranks, prefix)
+        clique.round_of_messages_array(
+            np.zeros(len(prefix), dtype=np.int64),
+            prefix,
             context=f"mis: phase {phase_index} leader replies",
         )
         clique.broadcast_round(context=f"mis: phase {phase_index} removal notices")
 
-        for v in sorted(new_mis, key=lambda vertex: ranks[vertex]):
-            if v in decided:
-                continue
-            mis.add(v)
-            removed = residual.remove_closed_neighborhood(v)
-            decided |= removed
-        decided.update(prefix)
+        # The chosen vertices are independent, so their closed
+        # neighborhoods can be removed (and marked decided) in one batch.
+        mis.update(new_mis.tolist())
+        alive[new_mis] = False
+        decided[new_mis] = True
+        for v in new_mis.tolist():
+            for u in graph.neighbors_view(v):
+                alive[u] = False
+                decided[u] = True
+        decided |= window
         previous_cutoff = cutoff
         maybe_record(
             trace,
             "cc_mis_phase",
             phase=phase_index,
-            routed=len(edge_messages),
+            routed=len(senders),
             mis_size=len(mis),
         )
 
-    active = {v for v in range(n) if v not in decided}
+    active = set(np.flatnonzero(~decided).tolist())
     finish = sparsified_mis(
-        residual,
+        CSRGraph.from_graph(graph, mask=alive),
         active=active,
         seed=rng.getrandbits(64),
         rounds_factor=config.luby_rounds_factor,

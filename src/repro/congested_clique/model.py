@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.mpc.errors import ProtocolError
 from repro.utils.trace import Trace, maybe_record
 
@@ -71,6 +73,45 @@ class CongestedClique:
                 raise ProtocolError(
                     f"pair {key} exceeds per-round bandwidth "
                     f"({pair_load[key]} ids > {IDS_PER_MESSAGE}) during {context}"
+                )
+        self._rounds += 1
+        maybe_record(self._trace, "cc_rounds", count=1, reason=context)
+
+    def round_of_messages_array(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        num_ids: int = 1,
+        context: str = "point-to-point",
+    ) -> None:
+        """Array form of :meth:`round_of_messages`: one round of uniform-size
+        messages given flat endpoint arrays.
+
+        Every message carries ``num_ids`` ids; per-pair loads are validated
+        with one ``np.unique`` pass over packed ``(sender, receiver)`` keys
+        instead of a per-message dict update.  Accepts and rejects exactly
+        the same rounds as the scalar method.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if len(senders) != len(receivers):
+            raise ValueError("senders and receivers must have equal length")
+        n = self._n
+        if senders.size:
+            for endpoint in (senders, receivers):
+                bad = (endpoint < 0) | (endpoint >= n)
+                if bad.any():
+                    player = int(endpoint[np.argmax(bad)])
+                    raise ProtocolError(f"player {player} out of range [0, {n})")
+            keys, counts = np.unique(senders * np.int64(n) + receivers, return_counts=True)
+            load = counts * int(num_ids)
+            over = load > IDS_PER_MESSAGE
+            if over.any():
+                which = int(np.argmax(over))
+                pair = (int(keys[which]) // n, int(keys[which]) % n)
+                raise ProtocolError(
+                    f"pair {pair} exceeds per-round bandwidth "
+                    f"({int(load[which])} ids > {IDS_PER_MESSAGE}) during {context}"
                 )
         self._rounds += 1
         maybe_record(self._trace, "cc_rounds", count=1, reason=context)

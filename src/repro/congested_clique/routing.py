@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+import numpy as np
+
 from repro.congested_clique.model import CongestedClique
 from repro.mpc.errors import ProtocolError
 
@@ -58,3 +60,48 @@ def lenzen_route(
             )
     clique.charge_rounds(LENZEN_ROUND_COST, context)
     return inboxes
+
+
+def lenzen_route_arrays(
+    clique: CongestedClique,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    context: str = "lenzen-routing",
+) -> None:
+    """Array form of :func:`lenzen_route` for flat endpoint-array messages.
+
+    Each message is one routed edge, represented by its slot in the
+    ``senders``/``receivers`` arrays rather than a Python tuple.  Send and
+    receive volumes are validated with one ``bincount`` pass each — the
+    accept/reject behavior is identical to the dict-based reference (the
+    property suite checks this), and :data:`LENZEN_ROUND_COST` rounds are
+    charged.  No inboxes are materialized: vectorized callers keep the
+    payload in their own arrays, which is the point of this variant.
+    """
+    n = clique.num_players
+    senders = np.asarray(senders, dtype=np.int64)
+    receivers = np.asarray(receivers, dtype=np.int64)
+    if len(senders) != len(receivers):
+        raise ValueError("senders and receivers must have equal length")
+    if senders.size:
+        out_of_range = (
+            (senders < 0) | (senders >= n) | (receivers < 0) | (receivers >= n)
+        )
+        if out_of_range.any():
+            slot = int(np.argmax(out_of_range))
+            raise ProtocolError(
+                f"message endpoints ({int(senders[slot])}, {int(receivers[slot])}) "
+                f"out of range during {context}"
+            )
+        for direction, load in (
+            ("sends", np.bincount(senders, minlength=n)),
+            ("receives", np.bincount(receivers, minlength=n)),
+        ):
+            over = load > n
+            if over.any():
+                player = int(np.argmax(over))
+                raise ProtocolError(
+                    f"player {player} {direction} {int(load[player])} > n={n} "
+                    f"messages; Lenzen's precondition violated during {context}"
+                )
+    clique.charge_rounds(LENZEN_ROUND_COST, context)

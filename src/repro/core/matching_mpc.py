@@ -384,26 +384,45 @@ def _simulate_machine(
     ``edges_u``/``edges_v`` are this machine's local induced edges (both
     endpoints assigned here).  Mutates ``freeze_iteration`` with the
     vertices this machine froze.
+
+    The whole part is decided per iteration through one
+    :meth:`ThresholdOracle.crosses_batch` call — local degrees live in a
+    part-relabelled array and shrink by masking dead edges, so no
+    adjacency sets are materialized.  Freezing decisions are identical to
+    the historical per-vertex loop (the threshold is a pure function of
+    ``(seed, v, t)`` and the estimate arithmetic is unchanged).
     """
-    local_adj: Dict[int, Set[int]] = {v: set() for v in part}
-    for a, b in zip(edges_u.tolist(), edges_v.tolist()):
-        local_adj[a].add(b)
-        local_adj[b].add(a)
-    locally_active = set(part)
+    if not part:
+        return
+    part_ids = np.asarray(part, dtype=np.int64)
+    k = len(part_ids)
+    local_of = np.full(len(y_old), -1, dtype=np.int64)
+    local_of[part_ids] = np.arange(k, dtype=np.int64)
+    lu = local_of[edges_u]
+    lv = local_of[edges_v]
+    edge_alive = np.ones(len(lu), dtype=bool)
+    active = np.ones(k, dtype=bool)
+    y_part = y_old[part_ids]
+    degree = np.bincount(lu, minlength=k) + np.bincount(lv, minlength=k)
     for step in range(iterations):
+        act = np.flatnonzero(active)
+        if act.size == 0:
+            break
         now = start_iteration + step
         w_t = w0 * growth**now
-        to_freeze = []
-        for v in locally_active:
-            estimate = num_machines * len(local_adj[v]) * w_t + y_old[v]
-            if oracle.crosses(v, now, estimate):
-                to_freeze.append(v)
-        for v in to_freeze:
+        # Same association as the scalar path: (m * deg) * w_t + y_old.
+        estimates = num_machines * degree[act] * w_t + y_part[act]
+        frozen = oracle.crosses_batch(part_ids[act], now, estimates)
+        if not frozen.any():
+            continue  # nothing froze: degrees are unchanged too
+        newly = act[frozen]
+        for v in part_ids[newly].tolist():
             freeze_iteration[v] = now
-            locally_active.discard(v)
-            for u in local_adj[v]:
-                local_adj[u].discard(v)
-            local_adj[v] = set()
+        active[newly] = False
+        edge_alive &= active[lu] & active[lv]
+        degree = np.bincount(lu[edge_alive], minlength=k) + np.bincount(
+            lv[edge_alive], minlength=k
+        )
 
 
 def _direct_simulation(
@@ -433,12 +452,17 @@ def _direct_simulation(
     live_degree = np.bincount(eu[live_edge], minlength=n) + np.bincount(
         ev[live_edge], minlength=n
     )
-    active = set(np.flatnonzero(unfrozen & (live_degree > 0)).tolist())
-    active_degree = {v: int(live_degree[v]) for v in active}
-    frozen_load = {}
+    initially_active = np.flatnonzero(unfrozen & (live_degree > 0))
+    active = set(initially_active.tolist())
+    active_degree = np.zeros(n, dtype=np.int64)
+    active_degree[initially_active] = live_degree[initially_active]
+    frozen_load = np.zeros(n, dtype=np.float64)
     loads = vertex_loads(t)
-    for v in active:
-        frozen_load[v] = loads[v] - active_degree[v] * w0 * growth**t
+    # Same association as the historical scalar path:
+    # loads[v] - (deg * w0) * growth**t.
+    frozen_load[initially_active] = loads[initially_active] - (
+        active_degree[initially_active] * w0
+    ) * (growth**t)
 
     # Neighbor lists restricted to the initially-active set; the direct
     # loop below only ever looks at active-active adjacency.
@@ -456,11 +480,12 @@ def _direct_simulation(
                 "direct Central-Rand simulation exceeded its iteration cap"
             )
         w_t = w0 * growth**t
-        to_freeze = [
-            v
-            for v in active
-            if oracle.crosses(v, t, frozen_load[v] + active_degree[v] * w_t)
-        ]
+        # One crosses_batch call per iteration instead of per-vertex oracle
+        # queries; in-band thresholds are materialized in one batched
+        # hashing pass.  Decisions match the scalar loop exactly.
+        act = np.fromiter(active, dtype=np.int64, count=len(active))
+        estimates = frozen_load[act] + active_degree[act] * w_t
+        to_freeze = act[oracle.crosses_batch(act, t, estimates)].tolist()
         newly = set(to_freeze)
         for v in to_freeze:
             freeze_iteration[v] = t

@@ -11,6 +11,8 @@ exactly.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.utils.rng import RngStream, SeedLike
 from repro.utils.validation import require
 
@@ -57,6 +59,37 @@ class ThresholdOracle:
         if estimate >= self._high:
             return True
         return estimate >= self.threshold(vertex, iteration)
+
+    def thresholds_batch(self, vertices, iteration: int) -> np.ndarray:
+        """``[self.threshold(v, iteration) for v in vertices]``, batched.
+
+        The SHA-derived draws for the whole batch are materialized through
+        one batched hashing pass
+        (:meth:`~repro.utils.rng.RngStream.uniform_batch`) instead of
+        per-``(v, t)`` scalar oracle calls — values are bit-for-bit identical
+        to the scalar method.
+        """
+        vs = np.asarray(vertices, dtype=np.int64)
+        if self._low == self._high:
+            return np.full(len(vs), self._low, dtype=np.float64)
+        return self._stream.uniform_batch(self._low, self._high, vs, iteration)
+
+    def crosses_batch(self, vertices, iteration: int, estimates) -> np.ndarray:
+        """Vectorized :meth:`crosses` for one iteration's vertex batch.
+
+        Estimates outside the ``[low, high]`` band decide without touching
+        the oracle; only the in-band subset materializes thresholds (via
+        :meth:`thresholds_batch`).  Decisions equal the scalar method's.
+        """
+        vs = np.asarray(vertices, dtype=np.int64)
+        est = np.asarray(estimates, dtype=np.float64)
+        out = est >= self._high
+        in_band = ~out & (est >= self._low)
+        if in_band.any():
+            idx = np.flatnonzero(in_band)
+            drawn = self.thresholds_batch(vs[idx], iteration)
+            out[idx] = est[idx] >= drawn
+        return out
 
 
 def fixed_oracle(value: float) -> ThresholdOracle:

@@ -29,6 +29,7 @@ both representations so call sites can stay representation-agnostic.
 
 from __future__ import annotations
 
+from array import array
 from typing import (
     Iterable,
     Iterator,
@@ -47,6 +48,11 @@ from repro.graph.graph import Edge, Graph
 
 # Sentinel "never frozen / no vertex" value for int64 bookkeeping arrays.
 NO_VERTEX = np.iinfo(np.int64).max
+
+# Below this many gathered rows, a per-row slice concatenation beats the
+# ragged-gather index arithmetic (see ``neighbors_bulk``); the crossover is
+# pinned by the ``remove_closed_neighborhoods_small`` kernel benchmark.
+SMALL_GATHER_ROWS = 64
 
 MaskLike = Union[np.ndarray, Iterable[int], None]
 
@@ -97,26 +103,54 @@ class CSRGraph:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Lossless conversion from the set-based reference representation."""
+    def from_graph(cls, graph: Graph, mask: MaskLike = None) -> "CSRGraph":
+        """Lossless conversion from the set-based reference representation.
+
+        With ``mask``, only edges with *both* endpoints inside the mask are
+        kept (labels preserved, out-of-mask vertices isolated) — i.e. the
+        CSR of the residual graph, built directly from the adjacency sets
+        without materializing the full conversion first.
+
+        Hot-path layout: neighbor sets are drained row-by-row through an
+        ``array('q')`` buffer (C-level set iteration, no per-element Python
+        objects), and the within-row ascending order is restored with one
+        flat sort of ``row * n + neighbor`` keys instead of a two-key
+        lexsort.
+        """
         n = graph.num_vertices
-        degrees = np.fromiter(
-            (len(graph.neighbors_view(v)) for v in range(n)),
-            dtype=np.int64,
-            count=n,
-        )
+        adjacency: List = [graph.neighbors_view(v) for v in range(n)]
+        if mask is not None:
+            arr = np.asarray(mask)
+            if arr.dtype == np.bool_:
+                if len(arr) != n:
+                    raise ValueError(
+                        f"mask length {len(arr)} != num_vertices {n}"
+                    )
+                selected = arr
+            else:
+                selected = np.zeros(n, dtype=bool)
+                selected[arr.astype(np.int64, copy=False)] = True
+            keep = set(np.flatnonzero(selected).tolist())
+            adjacency = [
+                neighbors & keep if selected[v] else set()
+                for v, neighbors in enumerate(adjacency)
+            ]
+        degrees = np.fromiter(map(len, adjacency), dtype=np.int64, count=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        total = int(indptr[-1])
-        flat = np.fromiter(
-            (u for v in range(n) for u in graph.neighbors_view(v)),
-            dtype=np.int64,
-            count=total,
-        )
-        # Rows arrive in set-iteration order; sort neighbors within each row.
-        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-        order = np.lexsort((flat, src))
-        return cls(indptr, flat[order])
+        buffer = array("q")
+        extend = buffer.extend
+        for neighbors in adjacency:
+            extend(neighbors)
+        if len(buffer):
+            key = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            key *= np.int64(n)
+            key += np.frombuffer(buffer, dtype=np.int64)
+            key.sort()
+            indices = key % np.int64(n)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return cls(indptr, indices)
 
     @classmethod
     def from_edge_array(cls, num_vertices: int, edges: np.ndarray) -> "CSRGraph":
@@ -347,21 +381,7 @@ class CSRGraph:
 
     def neighbors_bulk(self, vertices: Sequence[int]) -> np.ndarray:
         """Concatenated neighbor lists of ``vertices`` (ragged gather)."""
-        vs = np.asarray(vertices, dtype=np.int64)
-        if vs.size == 0:
-            return np.empty(0, dtype=np.int64)
-        starts = self._indptr[vs]
-        counts = self._indptr[vs + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64)
-        # Standard ragged-gather index arithmetic: for each selected row,
-        # emit starts[i], starts[i]+1, ..., starts[i]+counts[i]-1.
-        row_of_slot = np.repeat(np.arange(len(vs)), counts)
-        offsets = np.arange(total) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        return self._indices[starts[row_of_slot] + offsets]
+        return gather_rows(self._indices, self._indptr, vertices)
 
     def remove_closed_neighborhoods(
         self, vertices: Sequence[int], mask: MaskLike = None
@@ -414,6 +434,38 @@ class CSRGraph:
 
     def __repr__(self) -> str:
         return f"CSRGraph(n={self._n}, m={self.num_edges})"
+
+
+def gather_rows(
+    flat: np.ndarray, indptr: np.ndarray, rows: Sequence[int]
+) -> np.ndarray:
+    """Concatenated ``flat`` rows delimited by ``indptr`` (ragged gather).
+
+    The gather behind :meth:`CSRGraph.neighbors_bulk`, shared with callers
+    that maintain their own compressed row structures (e.g. the batched
+    Pregel kernels' filtered live-view adjacency).  Below
+    :data:`SMALL_GATHER_ROWS` gathered rows, per-row slice views are
+    concatenated directly — the batch-sized temporaries of the index
+    arithmetic dominate at a handful of rows (the n=1k regression in
+    BENCH_kernels.json).
+    """
+    vs = np.asarray(rows, dtype=np.int64)
+    if vs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if vs.size <= SMALL_GATHER_ROWS:
+        return np.concatenate(
+            [flat[indptr[v] : indptr[v + 1]] for v in vs.tolist()]
+        )
+    starts = indptr[vs]
+    counts = indptr[vs + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Standard ragged-gather index arithmetic: for each selected row, emit
+    # starts[i], starts[i]+1, ..., starts[i]+counts[i]-1.
+    row_of_slot = np.repeat(np.arange(len(vs)), counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return flat[starts[row_of_slot] + offsets]
 
 
 def as_csr(graph: Union[Graph, CSRGraph]) -> CSRGraph:

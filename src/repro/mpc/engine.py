@@ -22,10 +22,11 @@ direct versions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.mpc.cluster import Message, MPCCluster
 from repro.mpc.spec import ClusterSpec
@@ -84,6 +85,148 @@ class EngineResult:
     total_message_words: int = 0
 
 
+class BatchSuperstep:
+    """One superstep's batched view, handed to ``compute_batch``.
+
+    The per-vertex API processes one :class:`VertexContext` at a time; the
+    batched API hands the whole superstep over at once: ``active`` is the
+    array of vertex ids being computed (live vertices plus mail-woken
+    ones), ``graph`` is the topology as an immutable CSR, and the
+    program's state lives in whatever arrays the program object owns.
+    Incoming messages are the previous superstep's send buffers,
+    concatenated (``inbox_dst``/``inbox_kind``/``inbox_ival``); programs
+    that derive inboxes from their own state (the usual case — the sender
+    set is program state) can ignore them.
+
+    ``send`` queues messages by destination array only: the engine charges
+    per-machine volume exactly as the per-vertex path does (one bincount
+    over the placement array), so a batched program that emits the same
+    message multiset has byte-identical round/word accounting.  ``halt``
+    marks vertices that vote to halt this superstep; everything else in
+    ``active`` stays (or becomes) live, mirroring ``VertexContext``.
+    """
+
+    __slots__ = (
+        "superstep",
+        "active",
+        "graph",
+        "inbox_dst",
+        "_inbox_kind_parts",
+        "_inbox_ival_parts",
+        "_inbox_kind",
+        "_inbox_ival",
+        "_stream",
+        "_send_dst",
+        "_send_kind",
+        "_send_ival",
+        "_halted",
+    )
+
+    def __init__(
+        self,
+        superstep: int,
+        active: np.ndarray,
+        graph: CSRGraph,
+        inbox_dst: np.ndarray,
+        inbox_kind_parts: List[np.ndarray],
+        inbox_ival_parts: List[np.ndarray],
+        stream: RngStream,
+    ) -> None:
+        self.superstep = superstep
+        self.active = active
+        self.graph = graph
+        self.inbox_dst = inbox_dst
+        self._inbox_kind_parts = inbox_kind_parts
+        self._inbox_ival_parts = inbox_ival_parts
+        self._inbox_kind: Optional[np.ndarray] = None
+        self._inbox_ival: Optional[np.ndarray] = None
+        self._stream = stream
+        self._send_dst: List[np.ndarray] = []
+        self._send_kind: List[np.ndarray] = []
+        self._send_ival: List[np.ndarray] = []
+        self._halted: List[np.ndarray] = []
+
+    @property
+    def inbox_kind(self) -> np.ndarray:
+        """Kinds of the incoming messages, aligned with ``inbox_dst``.
+
+        Concatenated lazily: programs that derive inboxes from their own
+        state (the usual case) never pay for the full-message-volume pass.
+        """
+        if self._inbox_kind is None:
+            self._inbox_kind = (
+                np.concatenate(self._inbox_kind_parts)
+                if self._inbox_kind_parts
+                else np.empty(0, dtype=np.int64)
+            )
+        return self._inbox_kind
+
+    @property
+    def inbox_ival(self) -> np.ndarray:
+        """Integer payloads of the incoming messages, aligned with
+        ``inbox_dst`` (lazily concatenated, see :attr:`inbox_kind`)."""
+        if self._inbox_ival is None:
+            self._inbox_ival = (
+                np.concatenate(self._inbox_ival_parts)
+                if self._inbox_ival_parts
+                else np.empty(0, dtype=np.int64)
+            )
+        return self._inbox_ival
+
+    def random(self, vertices: np.ndarray) -> np.ndarray:
+        """Per-``(vertex, superstep)`` uniform draws, batched.
+
+        Bit-for-bit identical to :meth:`VertexContext.random` for the same
+        vertices — the draw is the same pure function of
+        ``(seed, vertex, superstep)``, materialized through one batched
+        hashing pass.
+        """
+        return self._stream.random_batch(vertices, self.superstep)
+
+    def send(self, destinations: np.ndarray, kind: int = 0, ival=None) -> None:
+        """Queue one message per entry of ``destinations``."""
+        dst = np.asarray(destinations, dtype=np.int64)
+        payload = (
+            np.zeros(len(dst), dtype=np.int64)
+            if ival is None
+            else np.asarray(ival, dtype=np.int64)
+        )
+        if len(payload) != len(dst):
+            raise ValueError(
+                f"ival length {len(payload)} != destinations length {len(dst)}"
+            )
+        self._send_dst.append(dst)
+        self._send_kind.append(np.full(len(dst), kind, dtype=np.int64))
+        self._send_ival.append(payload)
+
+    def halt(self, vertices: np.ndarray) -> None:
+        """Mark ``vertices`` as voting to halt this superstep."""
+        self._halted.append(np.asarray(vertices, dtype=np.int64))
+
+
+class BatchVertexProgram(Protocol):
+    """What :meth:`PregelEngine.run_batch` drives.
+
+    ``initialize`` receives the CSR topology and allocates whatever state
+    arrays the program needs; ``compute_batch`` is called once per
+    superstep with a :class:`BatchSuperstep`.
+    """
+
+    def initialize(self, graph: CSRGraph) -> None: ...
+
+    def compute_batch(self, step: BatchSuperstep) -> None: ...
+
+
+@dataclass
+class BatchEngineResult:
+    """Outcome of a batched vertex-program run (state stays on the program)."""
+
+    supersteps: int
+    rounds: int
+    max_machine_message_words: int
+    total_message_words: int = 0
+
+
 class PregelEngine:
     """Bulk-synchronous vertex-program executor with MPC accounting."""
 
@@ -113,11 +256,122 @@ class PregelEngine:
         )
         self._num_machines = machines
         self._stream = RngStream(rng.getrandbits(64), namespace="pregel")
+        self._csr: Optional[CSRGraph] = None  # built lazily by run_batch
 
     @property
     def cluster(self) -> MPCCluster:
         """The underlying cluster (round counter, memory stats)."""
         return self._cluster
+
+    def _charge_superstep_volume(
+        self, destinations: np.ndarray, superstep: int
+    ) -> int:
+        """Charge one communication superstep for messages to ``destinations``.
+
+        The single accounting path shared by :meth:`run` and
+        :meth:`run_batch`: per-machine volume is one bincount over the
+        placement array, validated by the cluster exchange.  Returns the
+        largest per-machine word volume of this superstep.
+        """
+        machine_words: Dict[int, int] = {}
+        if destinations.size:
+            volume = np.bincount(
+                self._owner_array[destinations], minlength=self._num_machines
+            ) * WORDS_PER_VERTEX_MESSAGE
+            machine_words = {
+                machine: int(words)
+                for machine, words in enumerate(volume.tolist())
+                if words
+            }
+        outboxes = {
+            machine: [Message(destination=machine, words=words, payload=None)]
+            for machine, words in machine_words.items()
+        }
+        self._cluster.exchange(outboxes, context=f"pregel superstep {superstep}")
+        return max(machine_words.values(), default=0)
+
+    def run_program(
+        self, program: Any, max_supersteps: int = 10_000
+    ) -> "BatchEngineResult | EngineResult":
+        """Run ``program`` on its best available representation.
+
+        A program that provides a vectorized ``compute_batch`` kernel runs
+        through :meth:`run_batch`; otherwise it falls back to the
+        per-vertex ``compute`` path (``program.compute`` +
+        ``program.initial_state``) via :meth:`run`.
+        """
+        if hasattr(program, "compute_batch"):
+            return self.run_batch(program, max_supersteps=max_supersteps)
+        return self.run(
+            program.compute,
+            max_supersteps=max_supersteps,
+            initial_state=getattr(program, "initial_state", None),
+        )
+
+    def run_batch(
+        self, program: BatchVertexProgram, max_supersteps: int = 10_000
+    ) -> BatchEngineResult:
+        """Execute a batched vertex program until every vertex halts.
+
+        The superstep loop mirrors :meth:`run` exactly — same activation
+        rule (live ∪ mail), same per-machine volume accounting through the
+        cluster, same quiescence/raise semantics — so a batched program
+        that emits the per-vertex program's message multiset produces
+        byte-identical supersteps, rounds, and word counts.
+        """
+        graph = self._graph
+        csr = self._csr
+        if csr is None:
+            csr = self._csr = CSRGraph.from_graph(graph)
+        n = graph.num_vertices
+        program.initialize(csr)
+        live = np.ones(n, dtype=bool)
+        mail = np.zeros(n, dtype=bool)
+        empty_i = np.empty(0, dtype=np.int64)
+        inbox_dst = empty_i
+        inbox_kind_parts: List[np.ndarray] = []
+        inbox_ival_parts: List[np.ndarray] = []
+
+        superstep = 0
+        max_words = 0
+        while True:
+            if superstep >= max_supersteps:
+                raise RuntimeError(
+                    f"vertex program did not quiesce within {max_supersteps} supersteps"
+                )
+            active_mask = live | mail
+            active = np.flatnonzero(active_mask)
+            if active.size == 0:
+                break
+            step = BatchSuperstep(
+                superstep, active, csr, inbox_dst, inbox_kind_parts,
+                inbox_ival_parts, self._stream,
+            )
+            program.compute_batch(step)
+            live[active] = True
+            if step._halted:
+                live[np.concatenate(step._halted)] = False
+            destinations = (
+                np.concatenate(step._send_dst) if step._send_dst else empty_i
+            )
+            max_words = max(
+                max_words,
+                self._charge_superstep_volume(destinations, superstep),
+            )
+            mail = np.zeros(n, dtype=bool)
+            if destinations.size:
+                mail[destinations] = True
+            inbox_dst = destinations
+            inbox_kind_parts = step._send_kind
+            inbox_ival_parts = step._send_ival
+            superstep += 1
+
+        return BatchEngineResult(
+            supersteps=superstep,
+            rounds=self._cluster.rounds,
+            max_machine_message_words=max_words,
+            total_message_words=self._cluster.total_comm_words,
+        )
 
     def run(
         self,
@@ -175,23 +429,13 @@ class PregelEngine:
                     destinations.append(destination)
                     payloads.append(payload)
             # Batched delivery: group the whole superstep's outbox by
-            # destination (one stable sort) and charge per-machine volume
-            # with one bincount over the placement array, instead of a
-            # dict lookup per message.
+            # destination (one stable sort); volume accounting is the same
+            # shared bincount-over-placement path run_batch uses.
             pending: Dict[int, List[Any]] = {}
-            machine_words: Dict[int, int] = {}
+            dest_array = np.fromiter(
+                destinations, dtype=np.int64, count=len(destinations)
+            )
             if destinations:
-                dest_array = np.fromiter(
-                    destinations, dtype=np.int64, count=len(destinations)
-                )
-                volume = np.bincount(
-                    self._owner_array[dest_array], minlength=self._num_machines
-                ) * WORDS_PER_VERTEX_MESSAGE
-                machine_words = {
-                    machine: int(words)
-                    for machine, words in enumerate(volume.tolist())
-                    if words
-                }
                 order = np.argsort(dest_array, kind="stable")
                 sorted_dest = dest_array[order]
                 unique_dest, starts = np.unique(sorted_dest, return_index=True)
@@ -203,14 +447,10 @@ class PregelEngine:
                         for i in order_list[bounds[which] : bounds[which + 1]]
                     ]
             # Charge the communication superstep and validate volumes.
-            outboxes = {
-                machine: [
-                    Message(destination=machine, words=words, payload=None)
-                ]
-                for machine, words in machine_words.items()
-            }
-            self._cluster.exchange(outboxes, context=f"pregel superstep {superstep}")
-            max_words = max(max_words, max(machine_words.values(), default=0))
+            max_words = max(
+                max_words,
+                self._charge_superstep_volume(dest_array, superstep),
+            )
             inboxes = pending
             superstep += 1
 

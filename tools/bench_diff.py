@@ -1,0 +1,152 @@
+"""Diff two ``BENCH_*.json`` files: per-cell speedup table + regression gate.
+
+Compares the timing cells shared by two perf-harness runs (any of the
+``benchmarks/perf`` suites — e2e, kernels, stream) and prints a
+per-``(task, backend, family, n)`` (or per-kernel) speedup table,
+``baseline / current``.  With ``--fail-over F`` it exits 1 when any shared
+cell regressed by more than a factor of ``F``.
+
+Because the committed baselines and a CI runner are different machines,
+absolute seconds drift; ``--normalize KEY`` divides every cell of each run
+by that run's ``KEY`` cell before gating, so uniform machine speed cancels
+(pick a cell whose implementation never changes run-to-run, e.g. a
+``greedy`` backend row).  The printed speedup table always shows the raw
+ratios.
+
+Usage::
+
+    python tools/bench_diff.py OLD.json NEW.json
+    python tools/bench_diff.py benchmarks/perf/BENCH_e2e.json /tmp/fresh.json \
+        --fail-over 2.0 --normalize mis/greedy/random/5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+# Key fields and the timing field, per suite (the harness stamps "suite").
+SUITE_LAYOUT: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "e2e": (("task", "backend", "family", "n"), "seconds"),
+    "kernels": (("kernel", "family", "n"), "csr_s"),
+    "stream": (("task", "family", "n"), "repair_s"),
+}
+
+
+def load(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def layout_for(payload: Dict[str, Any]) -> Tuple[Tuple[str, ...], str]:
+    suite = payload.get("suite")
+    if suite not in SUITE_LAYOUT:
+        raise SystemExit(
+            f"unknown suite {suite!r}; expected one of {sorted(SUITE_LAYOUT)}"
+        )
+    return SUITE_LAYOUT[suite]
+
+
+def cells(payload: Dict[str, Any]) -> Dict[str, float]:
+    """``key -> seconds`` for every result row of one run."""
+    fields, time_field = layout_for(payload)
+    out: Dict[str, float] = {}
+    for entry in payload["results"]:
+        key = "/".join(str(entry[field]) for field in fields)
+        out[key] = float(entry[time_field])
+    return out
+
+
+def diff(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    fail_over: Optional[float],
+    normalize: Optional[str],
+    min_seconds: float = 0.0,
+) -> int:
+    shared = [key for key in baseline if key in current]
+    if not shared:
+        print("no shared cells between the two runs")
+        return 1
+    scale_old = scale_new = 1.0
+    if normalize is not None:
+        if normalize not in baseline or normalize not in current:
+            raise SystemExit(f"--normalize cell {normalize!r} missing from a run")
+        scale_old = baseline[normalize]
+        scale_new = current[normalize]
+    width = max(len(key) for key in shared)
+    print(f"{'cell':<{width}}  {'baseline':>10}  {'current':>10}  {'speedup':>8}")
+    failures: List[str] = []
+    for key in shared:
+        old = baseline[key]
+        new = current[key]
+        speedup = old / new if new > 0 else float("inf")
+        print(f"{key:<{width}}  {old:>9.3f}s  {new:>9.3f}s  x{speedup:>7.2f}")
+        if fail_over is not None:
+            if old < min_seconds and new < min_seconds:
+                continue  # sub-noise-floor cell: too small to gate on
+            old_norm = old / scale_old if scale_old > 0 else old
+            new_norm = new / scale_new if scale_new > 0 else new
+            if new_norm > fail_over * old_norm:
+                failures.append(
+                    f"{key}: {new:.3f}s is more than {fail_over}x the baseline "
+                    f"{old:.3f}s"
+                    + (" (after normalization)" if normalize else "")
+                )
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"({len(missing)} baseline cells absent from the current run)")
+    if failures:
+        print(f"\nPERF REGRESSION (> {fail_over}x vs baseline):")
+        for line in failures:
+            print("  " + line)
+        return 1
+    if fail_over is not None:
+        print(f"\nperf check OK: {len(shared)} cells within {fail_over}x of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="earlier BENCH_*.json (e.g. committed)")
+    parser.add_argument("current", help="fresh BENCH_*.json to compare")
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit 1 when any shared cell regressed by more than FACTOR",
+    )
+    parser.add_argument(
+        "--normalize",
+        default=None,
+        metavar="CELL",
+        help="divide each run by its own CELL timing before gating "
+        "(cancels uniform machine-speed differences)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="noise floor: cells where both runs are below S are printed "
+        "but never gated (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if layout_for(baseline) != layout_for(current):
+        raise SystemExit("the two files are from different suites")
+    return diff(
+        cells(baseline),
+        cells(current),
+        args.fail_over,
+        args.normalize,
+        args.min_seconds,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
