@@ -83,6 +83,11 @@ def environment_stamp() -> Dict[str, Any]:
         "numpy": numpy.__version__,
         "machine": platform.machine(),
         "system": platform.system(),
+        # Scaling suites are meaningless without this: parallel speedup
+        # is capped by the cores actually available to the run.
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1),
     }
 
 

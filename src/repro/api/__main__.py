@@ -117,6 +117,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         seed=args.seed,
         budget=args.budget,
         verify=args.verify,
+        executor=args.executor,
+        workers=args.workers,
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -180,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--budget", type=float, default=None)
     solve_p.add_argument("--config", default=None, help="JSON config overrides")
     solve_p.add_argument("--json", action="store_true", help="print the full report")
+    solve_p.add_argument(
+        "--executor",
+        default=None,
+        choices=("local", "parallel"),
+        help="run the MPC solver through repro.dist (parallel = worker pool)",
+    )
+    solve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --executor (default 2)",
+    )
     solve_p.add_argument(
         "--verify",
         action="store_true",

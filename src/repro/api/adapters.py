@@ -54,6 +54,7 @@ from repro.utils.trace import Trace
     priority=10,
     rounds_bound="loglog",
     rounds_constant=2.0,
+    supports_executor=True,
 )
 def _mis_mpc(
     graph: Any,
@@ -61,8 +62,11 @@ def _mis_mpc(
     config: Optional[MISConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
-    result = mis_mpc(graph, seed=seed, config=config, trace=trace)
+    result = mis_mpc(
+        graph, seed=seed, config=config, trace=trace, executor=executor
+    )
     return SolverOutput(
         solution=result.mis,
         rounds=result.rounds,
@@ -162,6 +166,7 @@ def _mis_greedy(
     priority=10,
     rounds_bound="loglog",
     rounds_constant=4.0,
+    supports_executor=True,
 )
 def _fractional_mpc(
     graph: Any,
@@ -169,8 +174,11 @@ def _fractional_mpc(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
-    result = mpc_fractional_matching(graph, config=config, seed=seed, trace=trace)
+    result = mpc_fractional_matching(
+        graph, config=config, seed=seed, trace=trace, executor=executor
+    )
     return SolverOutput(
         solution=dict(result.matching.weights),
         rounds=result.rounds,
@@ -265,6 +273,7 @@ def _fractional_central(
     priority=10,
     rounds_bound="loglog",
     rounds_constant=64.0,
+    supports_executor=True,
 )
 def _matching_mpc(
     graph: Any,
@@ -272,8 +281,11 @@ def _matching_mpc(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
-    result = mpc_maximum_matching(graph, config=config, seed=seed, trace=trace)
+    result = mpc_maximum_matching(
+        graph, config=config, seed=seed, trace=trace, executor=executor
+    )
     return SolverOutput(
         solution=result.matching,
         rounds=result.rounds,
@@ -358,6 +370,7 @@ def _matching_central(
     priority=10,
     rounds_bound="loglog",
     rounds_constant=4.0,
+    supports_executor=True,
 )
 def _cover_mpc(
     graph: Any,
@@ -365,8 +378,11 @@ def _cover_mpc(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
-    result = mpc_vertex_cover(graph, config=config, seed=seed, trace=trace)
+    result = mpc_vertex_cover(
+        graph, config=config, seed=seed, trace=trace, executor=executor
+    )
     return SolverOutput(
         solution=result.cover,
         rounds=result.rounds,
@@ -436,6 +452,7 @@ def _cover_greedy(
     priority=10,
     rounds_bound="loglog",
     rounds_constant=64.0,
+    supports_executor=True,
 )
 def _one_plus_eps_mpc(
     graph: Any,
@@ -443,10 +460,16 @@ def _one_plus_eps_mpc(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
     config = config or MatchingConfig()
     result = one_plus_eps_matching(
-        graph, epsilon=config.epsilon, config=config, seed=seed, trace=trace
+        graph,
+        epsilon=config.epsilon,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
     )
     return SolverOutput(
         solution=result.matching,
@@ -523,6 +546,7 @@ def _one_plus_eps_central(
     priority=10,
     rounds_bound="loglog",
     rounds_constant=2.0,
+    supports_executor=True,
 )
 def _weighted_mpc(
     graph: WeightedGraph,
@@ -530,6 +554,7 @@ def _weighted_mpc(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> SolverOutput:
     config = config or MatchingConfig()
     result = mpc_weighted_matching(
@@ -538,6 +563,7 @@ def _weighted_mpc(
         seed=seed,
         trace=trace,
         memory_factor=config.memory_factor,
+        executor=executor,
     )
     return SolverOutput(
         solution=result.matching,

@@ -128,30 +128,21 @@ def _run_spec(spec: RunSpec) -> RunReport:
     return report
 
 
-# Per-worker graph table, installed once by the pool initializer.  Sweeps
-# reuse a handful of graphs across many specs; shipping each graph once per
-# worker (instead of re-pickling it into every task) keeps the task
-# payloads O(1) regardless of graph size.
-_WORKER_GRAPHS: List[GraphLike] = []
-
-
-def _init_worker(graphs: List[GraphLike]) -> None:
-    """Pool initializer: receive the sweep's distinct graphs once."""
-    global _WORKER_GRAPHS
-    _WORKER_GRAPHS = graphs
-
-
 def _run_indexed(job):
     """Pool worker: never raises, so one failure cannot poison the batch.
 
     ``job`` is ``(index, spec-with-graph-stripped, graph_index)``; the
-    graph is looked up in the worker-local table installed by
-    :func:`_init_worker`.  Returns ``(index, report, None)`` or
-    ``(index, None, error_message)``.
+    graph is looked up in the worker-local object table installed by the
+    :mod:`repro.dist.pool` initializer (sweeps reuse a handful of graphs
+    across many specs, so each distinct graph ships to each worker once
+    and task payloads stay O(1) regardless of graph size).  Returns
+    ``(index, report, None)`` or ``(index, None, error_message)``.
     """
+    from repro.dist.pool import worker_object
+
     index, spec, graph_index = job
     try:
-        spec = dataclasses.replace(spec, graph=_WORKER_GRAPHS[graph_index])
+        spec = dataclasses.replace(spec, graph=worker_object(graph_index))
         return index, _run_spec(spec), None
     except Exception as error:
         return index, None, f"{type(error).__name__}: {error}"
@@ -161,18 +152,15 @@ def _shared_graph_jobs(
     spec_list: List[RunSpec],
 ) -> Tuple[List[GraphLike], List[Tuple[int, RunSpec, int]]]:
     """Deduplicate spec graphs (by identity) into a table + light jobs."""
-    graph_table: List[GraphLike] = []
-    index_of: Dict[int, int] = {}
-    jobs: List[Tuple[int, RunSpec, int]] = []
-    for index, spec in enumerate(spec_list):
-        graph_index = index_of.get(id(spec.graph))
-        if graph_index is None:
-            graph_index = len(graph_table)
-            index_of[id(spec.graph)] = graph_index
-            graph_table.append(spec.graph)
-        jobs.append(
-            (index, dataclasses.replace(spec, graph=None), graph_index)
-        )
+    from repro.dist.pool import dedupe_by_identity
+
+    graph_table, graph_indices = dedupe_by_identity(
+        [spec.graph for spec in spec_list]
+    )
+    jobs = [
+        (index, dataclasses.replace(spec, graph=None), graph_indices[index])
+        for index, spec in enumerate(spec_list)
+    ]
     return graph_table, jobs
 
 
@@ -245,13 +233,11 @@ def solve_many(
 
     try:
         if processes is not None and processes >= 2:
-            import multiprocessing
+            from repro.dist.pool import object_pool
 
             finished: Dict[int, RunReport] = {}
             graph_table, jobs = _shared_graph_jobs(spec_list)
-            with multiprocessing.Pool(
-                processes, initializer=_init_worker, initargs=(graph_table,)
-            ) as pool:
+            with object_pool(processes, graph_table) as pool:
                 # imap_unordered streams each report the moment its worker
                 # finishes — a slow head-of-line spec cannot delay the
                 # JSONL/on_result output of the fast ones behind it.

@@ -20,6 +20,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     resource = None  # type: ignore[assignment]
 
 from repro.api.registry import SolverEntry, registry
+from repro.dist.executor import resolve_executor
 from repro.api.report import (
     EDGE_SET,
     FRACTIONAL,
@@ -50,6 +51,8 @@ def solve(
     budget: Optional[float] = None,
     verify: Any = False,
     trace: Optional[Trace] = None,
+    executor: Any = None,
+    workers: Optional[int] = None,
 ) -> RunReport:
     """Solve ``task`` on ``graph`` with the chosen ``backend``.
 
@@ -90,6 +93,19 @@ def solve(
         ``to_json``/``from_json`` like every other field.
     trace:
         Optional :class:`Trace` receiving the backend's instrumentation.
+    executor:
+        ``None`` (default, fully in-process), ``"local"`` (the
+        :mod:`repro.dist` driver over the in-process reference transport
+        — the behavior benchmarks compare against), ``"parallel"`` (a
+        multiprocessing worker pool with shared-memory graph arrays), or
+        a reusable :class:`repro.dist.DistExecutor` instance.  Only
+        MPC-backend entries accept it; outputs and budget audits are
+        byte-identical across executors for a fixed seed (see
+        DISTRIBUTED.md).
+    workers:
+        Worker count for a string ``executor`` (default 2).  With an
+        executor instance it must match the instance (or be ``None``);
+        without an executor it is an error.
 
     Returns
     -------
@@ -103,17 +119,50 @@ def solve(
             "report's seed field reproduces the run"
         )
     entry = registry.resolve(task, backend)
+    dist_executor, owned = resolve_executor(executor, workers)
+    if dist_executor is not None and not entry.supports_executor:
+        if owned:
+            dist_executor.close()
+        raise ValueError(
+            f"backend {entry.backend!r} for task {entry.task!r} does not "
+            f"support an executor (only the MPC-backend solvers do)"
+        )
     prepared = _prepare_graph(entry, graph)
     resolved_config = _resolve_config(entry, config, budget)
 
-    started = time.perf_counter()
-    output = entry.fn(prepared, config=resolved_config, seed=seed, trace=trace)
-    elapsed = time.perf_counter() - started
+    solver_kwargs: Dict[str, Any] = {}
+    if dist_executor is not None:
+        dist_executor.reset_metrics()
+        solver_kwargs["executor"] = dist_executor
+    try:
+        started = time.perf_counter()
+        output = entry.fn(
+            prepared,
+            config=resolved_config,
+            seed=seed,
+            trace=trace,
+            **solver_kwargs,
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        # Close owned workers before reading the RSS high-water mark so
+        # RUSAGE_CHILDREN covers the (reaped) worker processes.
+        if owned and dist_executor is not None:
+            dist_executor.close()
     peak_rss = _peak_rss_bytes()
 
     solution = canonical_solution(entry.solution_kind, output.solution)
     structure = prepared.structure if isinstance(prepared, WeightedGraph) else prepared
     metrics = _quality_metrics(entry, prepared, structure, solution)
+
+    extras = dict(output.extras)
+    if dist_executor is not None:
+        extras["executor"] = {
+            "kind": dist_executor.kind,
+            "workers": dist_executor.workers,
+            "distributed": dist_executor.distributed,
+            "phase_walls": dist_executor.phase_walls(),
+        }
 
     report = RunReport(
         task=entry.task,
@@ -130,7 +179,7 @@ def solve(
         wall_time_s=elapsed,
         peak_rss_bytes=peak_rss,
         total_comm_words=output.total_comm_words,
-        extras=dict(output.extras),
+        extras=extras,
     )
     if verify:
         # Local import: repro.verify sits above the facade (its
@@ -158,16 +207,21 @@ def _ru_maxrss_unit(platform: Optional[str] = None) -> int:
 
 
 def _peak_rss_bytes() -> int:
-    """Peak resident-set size of this process, in bytes (0 if unknown).
+    """Peak resident-set size of this run, in bytes (0 if unknown).
 
     ``ru_maxrss`` is a process-lifetime high-water mark, so sweeps should
     read it as "memory needed to get this far", not a per-run delta.  The
-    raw value is platform-dependent (:data:`_RU_MAXRSS_UNITS`); the
-    report field is normalized to bytes everywhere.
+    self reading misses executor worker processes entirely, so the
+    ``RUSAGE_CHILDREN`` high-water mark (populated as workers are reaped
+    — the façade closes owned executors before reading) is added: the sum
+    bounds what the run kept resident across all its processes.  The raw
+    values are platform-dependent (:data:`_RU_MAXRSS_UNITS`); the report
+    field is normalized to bytes everywhere.
     """
     if resource is None:
         return 0
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak += resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
     return int(peak * _ru_maxrss_unit())
 
 

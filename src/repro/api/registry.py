@@ -80,6 +80,9 @@ class SolverEntry:
     # VERIFICATION.md for how the defaults were calibrated).
     rounds_bound: str = "none"
     rounds_constant: float = 1.0
+    # Whether the adapter accepts an ``executor=`` kwarg (see repro.dist).
+    # The façade rejects executor requests for entries without it.
+    supports_executor: bool = False
 
 
 class UnknownSolverError(KeyError):
@@ -104,6 +107,7 @@ class SolverRegistry:
         priority: int = 0,
         rounds_bound: str = "none",
         rounds_constant: float = 1.0,
+        supports_executor: bool = False,
     ) -> Callable[[SolverFn], SolverFn]:
         """Decorator registering ``fn`` for ``(task, backend)``.
 
@@ -140,6 +144,7 @@ class SolverRegistry:
                 priority=priority,
                 rounds_bound=rounds_bound,
                 rounds_constant=rounds_constant,
+                supports_executor=supports_executor,
             )
             return fn
 

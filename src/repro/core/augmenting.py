@@ -45,16 +45,20 @@ def one_plus_eps_matching(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> AugmentingResult:
     """Compute a ``(1+ε)``-approximate matching of ``graph``.
 
     Starts from the Theorem 1.2 matching and eliminates augmenting paths of
-    length up to ``2*ceil(1/ε) - 1``.
+    length up to ``2*ceil(1/ε) - 1``.  ``executor`` parallelizes the base
+    Theorem 1.2 passes; the path-elimination sweeps stay driver-side.
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError(f"epsilon must lie in (0, 1), got {epsilon!r}")
     config = config or MatchingConfig()
-    base = mpc_maximum_matching(graph, config=config, seed=seed, trace=trace)
+    base = mpc_maximum_matching(
+        graph, config=config, seed=seed, trace=trace, executor=executor
+    )
     matching = set(base.matching)
     rounds = base.rounds
 

@@ -65,8 +65,14 @@ def mpc_maximum_matching(
     seed: SeedLike = None,
     max_passes: Optional[int] = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> IntegralMatchingResult:
-    """Compute a ``(2+O(ε))``-approximate integral matching of ``graph``."""
+    """Compute a ``(2+O(ε))``-approximate integral matching of ``graph``.
+
+    ``executor`` (an optional :class:`repro.dist.DistExecutor`) is handed
+    to every per-pass :func:`mpc_fractional_matching` call; rounding and
+    cleanup stay driver-side (their sequential RNG order is load-bearing).
+    """
     config = config or MatchingConfig()
     rng = make_rng(seed)
     if max_passes is None:
@@ -83,7 +89,11 @@ def mpc_maximum_matching(
 
     for pass_index in range(max_passes):
         fractional = mpc_fractional_matching(
-            residual, config=config, seed=rng.getrandbits(64), trace=trace
+            residual,
+            config=config,
+            seed=rng.getrandbits(64),
+            trace=trace,
+            executor=executor,
         )
         rounds += fractional.rounds
         candidates = fractional.rounding_candidates(config.epsilon)

@@ -132,6 +132,7 @@ def mpc_fractional_matching(
     seed: SeedLike = None,
     oracle: Optional[ThresholdOracle] = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> MatchingMPCResult:
     """Run MPC-Simulation on ``graph``.
 
@@ -143,6 +144,12 @@ def mpc_fractional_matching(
         Threshold oracle override — pass the same instance to
         :func:`repro.core.central.run_freezing_process` to couple the two
         processes (used by the Lemma 4.15 concentration experiment).
+    executor:
+        Optional :class:`repro.dist.DistExecutor`.  When it is
+        distributed, the per-machine phase blocks and the direct
+        Central-Rand iterations run on its workers (outputs and round
+        accounting byte-identical to the in-process path — see
+        DISTRIBUTED.md); otherwise this sequential reference path runs.
     """
     config = config or MatchingConfig()
     epsilon = config.epsilon
@@ -246,21 +253,60 @@ def mpc_fractional_matching(
         _ship_partitions(cluster, local_edge_counts, phases)
         machine_edges_per_phase.append(max(local_edge_counts, default=0))
 
-        # Lines (e): every machine simulates I iterations locally.
-        for index, part in enumerate(parts):
-            _simulate_machine(
-                part=part,
-                edges_u=local_u[boundaries[index] : boundaries[index + 1]],
-                edges_v=local_v[boundaries[index] : boundaries[index + 1]],
-                y_old=y_old,
-                oracle=oracle,
-                freeze_iteration=freeze_iteration,
-                start_iteration=t,
-                iterations=iterations,
-                num_machines=num_machines,
-                w0=w0,
-                growth=growth,
+        # Lines (e): every machine simulates I iterations locally.  With a
+        # distributed executor the machine blocks are scattered over the
+        # workers and the freeze insertions merged back in machine order —
+        # exactly the order the sequential loop produces.
+        if executor is not None and executor.distributed:
+            local_of = np.full(n, -1, dtype=np.int64)
+            for part in parts:
+                if part:
+                    local_of[part] = np.arange(len(part), dtype=np.int64)
+            tasks = []
+            for index, part in enumerate(parts):
+                if not part:
+                    continue
+                part_ids = np.asarray(part, dtype=np.int64)
+                lo, hi = boundaries[index], boundaries[index + 1]
+                tasks.append(
+                    (
+                        part_ids,
+                        local_of[local_u[lo:hi]],
+                        local_of[local_v[lo:hi]],
+                        y_old[part_ids],
+                    )
+                )
+            results = executor.map_tasks(
+                "matching.machines",
+                tasks,
+                shared={
+                    "oracle": oracle,
+                    "start": t,
+                    "iterations": iterations,
+                    "machines": num_machines,
+                    "w0": w0,
+                    "growth": growth,
+                },
+                phase="compressed-phases",
             )
+            for insertions in results:
+                for v, frozen_t in insertions:
+                    freeze_iteration[v] = frozen_t
+        else:
+            for index, part in enumerate(parts):
+                _simulate_machine(
+                    part=part,
+                    edges_u=local_u[boundaries[index] : boundaries[index + 1]],
+                    edges_v=local_v[boundaries[index] : boundaries[index + 1]],
+                    y_old=y_old,
+                    oracle=oracle,
+                    freeze_iteration=freeze_iteration,
+                    start_iteration=t,
+                    iterations=iterations,
+                    num_machines=num_machines,
+                    w0=w0,
+                    growth=growth,
+                )
         t += iterations
         d *= (1.0 - epsilon) ** iterations
         phases += 1
@@ -302,20 +348,38 @@ def mpc_fractional_matching(
 
     # Line (4): direct simulation of the remaining Central-Rand iterations.
     t_before_direct = t
-    t = _direct_simulation(
-        eu=eu,
-        ev=ev,
-        surviving_mask=surviving_mask,
-        freeze_at=freeze_at,
-        freeze_iteration=freeze_iteration,
-        oracle=oracle,
-        cluster=cluster,
-        start_iteration=t,
-        w0=w0,
-        growth=growth,
-        max_iterations=config.max_direct_iterations,
-        vertex_loads=vertex_loads,
-    )
+    if executor is not None and executor.distributed:
+        t = _direct_simulation_dist(
+            csr=csr,
+            eu=eu,
+            ev=ev,
+            surviving_mask=surviving_mask,
+            freeze_at=freeze_at,
+            freeze_iteration=freeze_iteration,
+            oracle=oracle,
+            cluster=cluster,
+            start_iteration=t,
+            w0=w0,
+            growth=growth,
+            max_iterations=config.max_direct_iterations,
+            vertex_loads=vertex_loads,
+            executor=executor,
+        )
+    else:
+        t = _direct_simulation(
+            eu=eu,
+            ev=ev,
+            surviving_mask=surviving_mask,
+            freeze_at=freeze_at,
+            freeze_iteration=freeze_iteration,
+            oracle=oracle,
+            cluster=cluster,
+            start_iteration=t,
+            w0=w0,
+            growth=growth,
+            max_iterations=config.max_direct_iterations,
+            vertex_loads=vertex_loads,
+        )
 
     inside = surviving_mask[eu] & surviving_mask[ev]
     wu = eu[inside]
@@ -395,15 +459,54 @@ def _simulate_machine(
     if not part:
         return
     part_ids = np.asarray(part, dtype=np.int64)
-    k = len(part_ids)
     local_of = np.full(len(y_old), -1, dtype=np.int64)
-    local_of[part_ids] = np.arange(k, dtype=np.int64)
-    lu = local_of[edges_u]
-    lv = local_of[edges_v]
-    edge_alive = np.ones(len(lu), dtype=bool)
+    local_of[part_ids] = np.arange(len(part_ids), dtype=np.int64)
+    insertions = _machine_insertions(
+        part_ids=part_ids,
+        local_u=local_of[edges_u],
+        local_v=local_of[edges_v],
+        y_part=y_old[part_ids],
+        oracle=oracle,
+        start_iteration=start_iteration,
+        iterations=iterations,
+        num_machines=num_machines,
+        w0=w0,
+        growth=growth,
+    )
+    for v, now in insertions:
+        freeze_iteration[v] = now
+
+
+def _machine_insertions(
+    part_ids: np.ndarray,
+    local_u: np.ndarray,
+    local_v: np.ndarray,
+    y_part: np.ndarray,
+    oracle: ThresholdOracle,
+    start_iteration: int,
+    iterations: int,
+    num_machines: int,
+    w0: float,
+    growth: float,
+) -> List[tuple]:
+    """One machine's local Central-Rand block, as ``(vertex, t)`` freezes.
+
+    The machine-local unit of :func:`_simulate_machine`, factored so the
+    distributed executor can run it on a worker (via the
+    ``matching.machines`` kernel) and replay the returned insertions in
+    the driver — list order equals the sequential mutation order.
+    ``local_u``/``local_v`` are the machine's induced edges relabelled to
+    part positions; ``y_part`` is the frozen-load slice for the part.
+    """
+    insertions: List[tuple] = []
+    k = len(part_ids)
+    if k == 0:
+        return insertions
+    edge_alive = np.ones(len(local_u), dtype=bool)
     active = np.ones(k, dtype=bool)
-    y_part = y_old[part_ids]
-    degree = np.bincount(lu, minlength=k) + np.bincount(lv, minlength=k)
+    degree = np.bincount(local_u, minlength=k) + np.bincount(
+        local_v, minlength=k
+    )
     for step in range(iterations):
         act = np.flatnonzero(active)
         if act.size == 0:
@@ -417,12 +520,13 @@ def _simulate_machine(
             continue  # nothing froze: degrees are unchanged too
         newly = act[frozen]
         for v in part_ids[newly].tolist():
-            freeze_iteration[v] = now
+            insertions.append((v, now))
         active[newly] = False
-        edge_alive &= active[lu] & active[lv]
-        degree = np.bincount(lu[edge_alive], minlength=k) + np.bincount(
-            lv[edge_alive], minlength=k
+        edge_alive &= active[local_u] & active[local_v]
+        degree = np.bincount(local_u[edge_alive], minlength=k) + np.bincount(
+            local_v[edge_alive], minlength=k
         )
+    return insertions
 
 
 def _direct_simulation(
@@ -511,4 +615,119 @@ def _direct_simulation(
         t += 1
         steps += 1
         cluster.charge_rounds(1, "matching: direct Central-Rand iteration")
+    return t
+
+
+def _direct_simulation_dist(
+    csr: CSRGraph,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    surviving_mask: np.ndarray,
+    freeze_at: np.ndarray,
+    freeze_iteration: Dict[int, int],
+    oracle: ThresholdOracle,
+    cluster: MPCCluster,
+    start_iteration: int,
+    w0: float,
+    growth: float,
+    max_iterations: int,
+    vertex_loads,
+    executor,
+) -> int:
+    """Line (4) on the distributed executor — same outputs, same rounds.
+
+    The vertex range is partitioned contiguously over the workers; each
+    worker owns the mutable per-vertex state (active flag, active degree,
+    frozen load) for its slice and reads the immutable CSR adjacency from
+    shared memory.  Per iteration the driver broadcasts the previous
+    iteration's global freeze list, allreduces the surviving active
+    counts, and merges the newly-frozen ids — charging exactly one
+    cluster round per executed iteration, like the sequential loop.
+
+    Byte-identity with :func:`_direct_simulation` (the parity suite
+    enforces it):
+
+    * the CSR rows filtered by the initially-active mask are exactly the
+      sequential live-adjacency lists (``eu``/``ev`` come from this CSR,
+      and a full-CSR edge with both endpoints initially active is by
+      definition a live edge);
+    * all load increments within one iteration equal ``w_t``, and
+      ``np.add.at`` performs a per-accumulator sequence of equal-value
+      additions — bit-identical floats regardless of order;
+    * updates landing on initially-active but since-frozen (or
+      zero-removed) cells diverge from the sequential arrays, but those
+      cells are never read again;
+    * termination and the iteration cap gate on the allreduced count
+      *before* any round is charged or any freeze applied, mirroring the
+      sequential ``while active`` / cap checks.
+    """
+    t = start_iteration
+    n = len(surviving_mask)
+    # Identical initialization to the sequential path.
+    unfrozen = surviving_mask & (freeze_at == _NEVER)
+    live_edge = unfrozen[eu] & unfrozen[ev]
+    live_degree = np.bincount(eu[live_edge], minlength=n) + np.bincount(
+        ev[live_edge], minlength=n
+    )
+    initially_active = unfrozen & (live_degree > 0)
+    if not initially_active.any():
+        return t
+    active_ids = np.flatnonzero(initially_active)
+    active_degree = np.zeros(n, dtype=np.int64)
+    active_degree[active_ids] = live_degree[active_ids]
+    frozen_load = np.zeros(n, dtype=np.float64)
+    loads = vertex_loads(t)
+    frozen_load[active_ids] = loads[active_ids] - (
+        active_degree[active_ids] * w0
+    ) * (growth**t)
+
+    key = executor.open_session(
+        "matching-direct", {"indptr": csr.indptr, "indices": csr.indices}
+    )
+    try:
+        payloads = [
+            {
+                "session": key,
+                "lo": lo,
+                "hi": hi,
+                "active": initially_active,
+                "degree": active_degree[lo:hi],
+                "load": frozen_load[lo:hi],
+                "oracle": oracle,
+                "w0": w0,
+                "growth": growth,
+            }
+            for lo, hi in executor.partition(n)
+        ]
+        counts = executor.scatter_step(
+            "matching.direct_init", payloads, phase="direct-simulation"
+        )
+        total = sum(counts)
+        prev = np.empty(0, dtype=np.int64)
+        steps = 0
+        while total:
+            results = executor.broadcast_step(
+                "matching.direct_step",
+                {"session": key, "t": t, "prev": prev},
+                phase="direct-simulation",
+            )
+            total = sum(count for _, count in results)
+            if total == 0:
+                # Everyone went inactive while applying the previous
+                # iteration's freezes: the sequential loop would have
+                # exited at the top without charging this round.
+                break
+            if steps >= max_iterations:
+                raise RuntimeError(
+                    "direct Central-Rand simulation exceeded its iteration cap"
+                )
+            prev = np.concatenate([newly for newly, _ in results])
+            freeze_at[prev] = t
+            for v in prev.tolist():
+                freeze_iteration[v] = t
+            t += 1
+            steps += 1
+            cluster.charge_rounds(1, "matching: direct Central-Rand iteration")
+    finally:
+        executor.close_session(key)
     return t

@@ -39,6 +39,7 @@ def mpc_vertex_cover(
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
+    executor=None,
 ) -> VertexCoverResult:
     """Compute a ``(2+O(ε))``-approximate vertex cover of ``graph``.
 
@@ -47,7 +48,9 @@ def mpc_vertex_cover(
     returning a non-cover would poison downstream use.
     """
     config = config or MatchingConfig()
-    result = mpc_fractional_matching(graph, config=config, seed=seed, trace=trace)
+    result = mpc_fractional_matching(
+        graph, config=config, seed=seed, trace=trace, executor=executor
+    )
     cover = set(result.vertex_cover)
     if not is_vertex_cover(graph, cover):
         # The paper's freezing invariant guarantees coverage at termination;

@@ -67,6 +67,7 @@ def mpc_weighted_matching(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     memory_factor: int = 8,
+    executor=None,
 ) -> WeightedMatchingResult:
     """Compute a constant-approximate weighted matching of ``graph``.
 
@@ -74,6 +75,12 @@ def mpc_weighted_matching(
     maximal matching on the class edges among still-free vertices and add
     it.  The classic analysis gives a ``2(1+ε)``-style factor against the
     optimum restricted to kept edges, hence ``(2+O(ε))`` overall.
+
+    Classes are sequentially dependent (each sees the previous classes'
+    matched vertices), so a distributed ``executor`` dispatches each
+    class's filtering run to a worker; the per-class seed is drawn
+    driver-side in the same RNG position as the sequential path, keeping
+    the outputs identical.
     """
     require_epsilon(epsilon)
     rng = make_rng(seed)
@@ -83,6 +90,8 @@ def mpc_weighted_matching(
     matching: Set[Edge] = set()
     rounds = 0
     per_class: List[int] = []
+    distributed = executor is not None and executor.distributed
+    words_per_machine = ClusterSpec.from_graph(graph, memory_factor).words_per_machine
 
     for class_index, edges in enumerate(classes):
         available = [
@@ -91,17 +100,23 @@ def mpc_weighted_matching(
         if not available:
             per_class.append(0)
             continue
-        class_graph = Graph(n, available)
-        outcome = filtering_maximal_matching(
-            class_graph,
-            words_per_machine=ClusterSpec.from_graph(
-                graph, memory_factor
-            ).words_per_machine,
-            seed=rng.getrandbits(64),
-        )
-        rounds += outcome.rounds
-        per_class.append(len(outcome.matching))
-        for u, v in outcome.matching:
+        class_seed = rng.getrandbits(64)
+        if distributed:
+            [(class_matching, class_rounds)] = executor.map_tasks(
+                "weighted.filtering",
+                [(n, available, words_per_machine, class_seed)],
+                phase="weight-classes",
+            )
+        else:
+            outcome = filtering_maximal_matching(
+                Graph(n, available),
+                words_per_machine=words_per_machine,
+                seed=class_seed,
+            )
+            class_matching, class_rounds = outcome.matching, outcome.rounds
+        rounds += class_rounds
+        per_class.append(len(class_matching))
+        for u, v in class_matching:
             matching.add(canonical_edge(u, v))
             matched.add(u)
             matched.add(v)
@@ -110,7 +125,7 @@ def mpc_weighted_matching(
             "weight_class",
             class_index=class_index,
             class_edges=len(edges),
-            matched_here=len(outcome.matching),
+            matched_here=len(class_matching),
         )
 
     return WeightedMatchingResult(

@@ -567,3 +567,42 @@ class TestPeakRssNormalization:
     def test_report_carries_normalized_bytes(self):
         report = solve("mis", path_graph(8), backend="greedy")
         assert report.peak_rss_bytes > 4 * 2**20
+
+    def test_children_high_water_mark_is_included(self, monkeypatch):
+        # Worker processes (repro.dist executors, solve_many pools) only
+        # show up in the RUSAGE_CHILDREN high-water mark; the report must
+        # sum both readings before normalizing to bytes.
+        import resource as resource_module
+
+        from repro.api import facade
+
+        class FakeUsage:
+            def __init__(self, ru_maxrss):
+                self.ru_maxrss = ru_maxrss
+
+        readings = {
+            resource_module.RUSAGE_SELF: FakeUsage(300_000),
+            resource_module.RUSAGE_CHILDREN: FakeUsage(120_000),
+        }
+        monkeypatch.setattr(
+            facade.resource, "getrusage", lambda who: readings[who]
+        )
+        expected = (300_000 + 120_000) * facade._ru_maxrss_unit()
+        assert facade._peak_rss_bytes() == expected
+
+    def test_children_reading_reflects_reaped_workers(self):
+        # End to end: after a parallel solve the owned executor is closed
+        # (workers reaped) before the reading, so the reported peak covers
+        # the whole process tree and never shrinks below the self peak.
+        report = solve(
+            "fractional_matching",
+            gnp_random_graph(80, 0.1, seed=7),
+            backend="mpc",
+            seed=5,
+            executor="parallel",
+            workers=2,
+        )
+        from repro.api.facade import _peak_rss_bytes
+
+        assert report.peak_rss_bytes > 4 * 2**20
+        assert _peak_rss_bytes() >= report.peak_rss_bytes

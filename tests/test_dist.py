@@ -1,0 +1,524 @@
+"""repro.dist: transports, executor, kernels, and the parity suite.
+
+The load-bearing contract is *byte-identity*: for a fixed seed, every MPC
+solver must produce the same solution, the same round count, and the same
+communication/memory audit whether it runs fully in-process
+(``executor=None``), through the in-process reference transport
+(``executor="local"``), or partitioned over real worker processes
+(``executor="parallel"``).  The fault tests pin the other contract: a
+worker failure of any kind surfaces as :class:`DistExecutionError`, never
+a hang.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import registry, solve
+from repro.dist import (
+    DistExecutionError,
+    DistExecutor,
+    LocalTransport,
+    MPITransport,
+    MultiprocessTransport,
+    resolve_executor,
+)
+from repro.dist.kernels import get_kernel, kernel_names
+from repro.dist.pool import dedupe_by_identity, object_pool, worker_object
+from repro.graph.generators import gnp_random_graph, random_weighted_graph
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+
+
+def _echo_all(transport, value):
+    payloads = [
+        {"value": (worker_id, value)} for worker_id in range(transport.workers)
+    ]
+    return transport.step("debug.echo", payloads)
+
+
+class TestLocalTransport:
+    def test_echo_reports_worker_identity(self):
+        with LocalTransport(3) as transport:
+            results = _echo_all(transport, "ping")
+        assert [r["worker_id"] for r in results] == [0, 1, 2]
+        assert all(r["num_workers"] == 3 for r in results)
+        assert results[1]["payload"] == (1, "ping")
+
+    def test_sessions_shared_by_every_worker(self):
+        with LocalTransport(2) as transport:
+            transport.install("s", {"x": np.arange(5), "y": np.ones(3)})
+            results = transport.step(
+                "debug.echo", [{"sessions": ["s"]}] * 2
+            )
+            for r in results:
+                assert r["session_sums"]["s"] == {"x": 10.0, "y": 3.0}
+            transport.drop("s")
+            with pytest.raises(DistExecutionError, match="no session 's'"):
+                transport.step("debug.echo", [{"sessions": ["s"]}] * 2)
+
+    def test_payload_count_must_match_workers(self):
+        with LocalTransport(2) as transport:
+            with pytest.raises(ValueError, match="one payload per worker"):
+                transport.step("debug.echo", [{}])
+
+    def test_closed_transport_raises(self):
+        transport = LocalTransport(2)
+        transport.close()
+        with pytest.raises(DistExecutionError, match="closed"):
+            transport.step("debug.echo", [{}, {}])
+
+    def test_kernel_error_carries_worker_id(self):
+        with LocalTransport(2) as transport:
+            with pytest.raises(DistExecutionError) as info:
+                transport.step(
+                    "debug.fail", [{"fail": False}, {"fail": True}]
+                )
+        assert info.value.worker_id == 1
+        assert "injected kernel failure" in str(info.value)
+
+
+class TestMultiprocessTransport:
+    def test_echo_and_shared_sessions_match_local(self):
+        arrays = {"x": np.arange(100, dtype=np.int64), "y": np.zeros(0)}
+        with LocalTransport(2) as local, MultiprocessTransport(2) as multi:
+            local.install("s", arrays)
+            multi.install("s", arrays)
+            payloads = [{"value": i, "sessions": ["s"]} for i in range(2)]
+            assert local.step("debug.echo", payloads) == multi.step(
+                "debug.echo", payloads
+            )
+
+    def test_kernel_error_leaves_transport_usable(self):
+        with MultiprocessTransport(2) as transport:
+            with pytest.raises(DistExecutionError) as info:
+                transport.step(
+                    "debug.fail", [{"fail": True}, {"fail": False}]
+                )
+            assert info.value.worker_id == 0
+            assert "ValueError" in str(info.value)
+            # The workers survived the kernel exception: same pool, next step.
+            results = _echo_all(transport, "still-alive")
+            assert [r["worker_id"] for r in results] == [0, 1]
+
+    def test_worker_death_raises_cleanly_and_closes(self):
+        transport = MultiprocessTransport(2)
+        try:
+            with pytest.raises(DistExecutionError, match="died"):
+                transport.step(
+                    "debug.crash", [{"exit": 1}, {"exit": None}]
+                )
+            # Everything is torn down; further use reports closed, not a hang.
+            with pytest.raises(DistExecutionError, match="closed"):
+                _echo_all(transport, "after-death")
+        finally:
+            transport.close()
+
+    def test_duplicate_session_key_rejected(self):
+        with MultiprocessTransport(2) as transport:
+            transport.install("s", {"x": np.arange(3)})
+            with pytest.raises(ValueError, match="already installed"):
+                transport.install("s", {"x": np.arange(3)})
+
+    def test_mpi_transport_is_a_documented_stub(self):
+        with pytest.raises(NotImplementedError, match="DISTRIBUTED.md"):
+            MPITransport(2)
+
+
+# ---------------------------------------------------------------------------
+# pool plumbing (shared with repro.api.batch)
+# ---------------------------------------------------------------------------
+
+
+def _lookup(index):
+    return worker_object(index)
+
+
+class TestPool:
+    def test_dedupe_by_identity(self):
+        a, b = object(), object()
+        table, indices = dedupe_by_identity([a, b, a, a, b])
+        assert table == [a, b]
+        assert indices == [0, 1, 0, 0, 1]
+        assert all(table[i] is item for i, item in zip(indices, [a, b, a, a, b]))
+
+    def test_dedupe_is_identity_not_equality(self):
+        x, y = [1, 2], [1, 2]
+        table, indices = dedupe_by_identity([x, y])
+        assert len(table) == 2
+        assert indices == [0, 1]
+
+    def test_object_pool_ships_table_once(self):
+        with object_pool(2, ["alpha", "beta"]) as pool:
+            assert pool.map(_lookup, [0, 1, 0]) == ["alpha", "beta", "alpha"]
+
+
+# ---------------------------------------------------------------------------
+# executor
+# ---------------------------------------------------------------------------
+
+
+class TestDistExecutor:
+    def test_partition_is_balanced_and_covers(self):
+        executor = DistExecutor(LocalTransport(3))
+        bounds = executor.partition(10)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        assert executor.partition(2) == [(0, 1), (1, 2), (2, 2)]
+
+    def test_map_tasks_order_via_machine_kernel(self):
+        # matching.machines returns one list per task in task order; empty
+        # parts exercise uneven chunking.
+        from repro.core.thresholds import ThresholdOracle
+
+        oracle = ThresholdOracle(0.1, 0.2, seed=7)
+        tasks = []
+        for k in (1, 2, 3, 4, 5):
+            part_ids = np.arange(k, dtype=np.int64)
+            tasks.append(
+                (
+                    part_ids,
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(k),
+                )
+            )
+        shared = {
+            "oracle": oracle,
+            "start": 0,
+            "iterations": 1,
+            "machines": 2,
+            "w0": 0.1,
+            "growth": 1.1,
+        }
+        with DistExecutor(LocalTransport(2)) as executor:
+            results = executor.map_tasks("matching.machines", tasks, shared=shared)
+        assert len(results) == 5
+
+    def test_phase_walls_accumulate(self):
+        with DistExecutor(LocalTransport(2)) as executor:
+            executor.broadcast_step("debug.echo", {}, phase="a")
+            executor.broadcast_step("debug.echo", {}, phase="a")
+            executor.broadcast_step("debug.echo", {}, phase="b")
+            walls = {w["phase"]: w for w in executor.phase_walls()}
+            assert walls["a"]["steps"] == 2
+            assert walls["b"]["steps"] == 1
+            executor.reset_metrics()
+            assert executor.phase_walls() == []
+
+    def test_open_session_keys_are_unique(self):
+        with DistExecutor(LocalTransport(2)) as executor:
+            first = executor.open_session("hint", {"x": np.arange(2)})
+            second = executor.open_session("hint", {"x": np.arange(2)})
+            assert first != second
+
+
+class TestResolveExecutor:
+    def test_none_passthrough(self):
+        assert resolve_executor(None) == (None, False)
+
+    def test_workers_without_executor_is_an_error(self):
+        with pytest.raises(ValueError, match="requires an executor"):
+            resolve_executor(None, workers=2)
+
+    def test_string_kinds_are_owned(self):
+        executor, owned = resolve_executor("local", workers=3)
+        assert owned and executor.workers == 3 and not executor.distributed
+        executor.close()
+
+    def test_instance_is_not_owned(self):
+        with DistExecutor(LocalTransport(2)) as instance:
+            executor, owned = resolve_executor(instance)
+            assert executor is instance and not owned
+            with pytest.raises(ValueError, match="conflicts"):
+                resolve_executor(instance, workers=4)
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("cluster")
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_executor(42)
+
+    def test_mpi_is_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            resolve_executor("mpi")
+
+    def test_bad_worker_count_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_executor("local", workers=0)
+
+
+# ---------------------------------------------------------------------------
+# parity suite: distributed == sequential, byte for byte
+# ---------------------------------------------------------------------------
+
+MPC_TASKS = [t for t in registry.tasks() if "mpc" in registry.backends(t)]
+PARITY_CASES = [(n, seed) for n in (80, 150) for seed in (3, 11)]
+
+
+def _graph_for(task, n, seed=7):
+    if task == "weighted_matching":
+        return random_weighted_graph(n, 8.0 / n, seed=seed)
+    return gnp_random_graph(n, 8.0 / n, seed=seed)
+
+
+def report_snapshot(report):
+    """Everything that must match across executors, as plain JSON data."""
+    data = json.loads(report.to_json())
+    data.pop("wall_time_s")
+    data.pop("peak_rss_bytes")
+    data.get("extras", {}).pop("executor", None)
+    return data
+
+
+class TestParity:
+    @pytest.mark.parametrize("task", MPC_TASKS)
+    @pytest.mark.parametrize("n,seed", PARITY_CASES)
+    def test_kernel_path_matches_sequential(self, task, n, seed):
+        # LocalTransport with distributed=True forces the partitioned
+        # kernel path in-process: full logic coverage without process
+        # startup per case.
+        graph = _graph_for(task, n)
+        baseline = report_snapshot(
+            solve(task, graph, backend="mpc", seed=seed)
+        )
+        with DistExecutor(LocalTransport(2), distributed=True) as executor:
+            distributed = report_snapshot(
+                solve(task, graph, backend="mpc", seed=seed, executor=executor)
+            )
+        assert distributed == baseline
+
+    @pytest.mark.parametrize("task", MPC_TASKS)
+    def test_parallel_processes_match_sequential(self, task):
+        graph = _graph_for(task, 120)
+        baseline = report_snapshot(
+            solve(task, graph, backend="mpc", seed=5)
+        )
+        parallel = report_snapshot(
+            solve(
+                task,
+                graph,
+                backend="mpc",
+                seed=5,
+                executor="parallel",
+                workers=2,
+            )
+        )
+        assert parallel == baseline
+
+    def test_local_executor_matches_sequential(self):
+        graph = gnp_random_graph(150, 0.05, seed=7)
+        baseline = report_snapshot(
+            solve("fractional_matching", graph, backend="mpc", seed=5)
+        )
+        local = report_snapshot(
+            solve(
+                "fractional_matching",
+                graph,
+                backend="mpc",
+                seed=5,
+                executor="local",
+            )
+        )
+        assert local == baseline
+
+    def test_worker_count_invariance(self):
+        graph = gnp_random_graph(200, 0.04, seed=9)
+        snapshots = []
+        for workers in (1, 2, 3):
+            with DistExecutor(
+                LocalTransport(workers), distributed=True
+            ) as executor:
+                snapshots.append(
+                    report_snapshot(
+                        solve(
+                            "fractional_matching",
+                            graph,
+                            backend="mpc",
+                            seed=13,
+                            executor=executor,
+                        )
+                    )
+                )
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_budget_audit_identical_under_parallel(self):
+        # verify=True attaches the BudgetPolicy certificate (round budget,
+        # per-machine words, total communication); it must be identical —
+        # the cluster accounting never leaves the driver.
+        graph = gnp_random_graph(150, 0.05, seed=7)
+        baseline = report_snapshot(
+            solve("fractional_matching", graph, backend="mpc", seed=5, verify=True)
+        )
+        parallel = report_snapshot(
+            solve(
+                "fractional_matching",
+                graph,
+                backend="mpc",
+                seed=5,
+                verify=True,
+                executor="parallel",
+                workers=2,
+            )
+        )
+        assert all(
+            check["passed"] for check in baseline["verification"]["checks"]
+        )
+        assert parallel == baseline
+
+    def test_worker_death_mid_solve_raises_dist_error(self):
+        # Kill a worker once the direct-simulation session is installed:
+        # the solver must surface DistExecutionError, not hang or return
+        # a partial result.
+        graph = gnp_random_graph(150, 0.05, seed=7)
+        transport = MultiprocessTransport(2)
+        executor = DistExecutor(transport, kind="parallel")
+        original_step = transport.step
+
+        def sabotaged_step(kernel, payloads):
+            if kernel == "matching.direct_step":
+                return original_step(
+                    "debug.crash", [{"exit": 3}] * len(payloads)
+                )
+            return original_step(kernel, payloads)
+
+        transport.step = sabotaged_step
+        try:
+            with pytest.raises(DistExecutionError, match="died"):
+                solve(
+                    "fractional_matching",
+                    graph,
+                    backend="mpc",
+                    seed=5,
+                    executor=executor,
+                )
+        finally:
+            transport.step = original_step
+            executor.close()
+
+
+# ---------------------------------------------------------------------------
+# façade integration
+# ---------------------------------------------------------------------------
+
+
+class TestFacadeExecutor:
+    def test_executor_metadata_recorded_in_extras(self):
+        graph = gnp_random_graph(80, 0.1, seed=7)
+        report = solve(
+            "fractional_matching",
+            graph,
+            backend="mpc",
+            seed=5,
+            executor="parallel",
+            workers=2,
+        )
+        info = report.extras["executor"]
+        assert info["kind"] == "parallel"
+        assert info["workers"] == 2
+        assert info["distributed"] is True
+        phases = {w["phase"] for w in info["phase_walls"]}
+        assert "direct-simulation" in phases
+
+    def test_local_executor_metadata(self):
+        graph = gnp_random_graph(80, 0.1, seed=7)
+        report = solve(
+            "fractional_matching", graph, backend="mpc", seed=5, executor="local"
+        )
+        info = report.extras["executor"]
+        assert info["kind"] == "local" and info["distributed"] is False
+
+    def test_non_mpc_backend_rejects_executor(self):
+        graph = gnp_random_graph(40, 0.1, seed=7)
+        with pytest.raises(ValueError, match="does not support an executor"):
+            solve("mis", graph, backend="greedy", executor="local")
+
+    def test_workers_without_executor_rejected(self):
+        graph = gnp_random_graph(40, 0.1, seed=7)
+        with pytest.raises(ValueError, match="requires an executor"):
+            solve("mis", graph, backend="mpc", workers=2)
+
+    def test_unknown_executor_rejected(self):
+        graph = gnp_random_graph(40, 0.1, seed=7)
+        with pytest.raises(ValueError, match="unknown executor"):
+            solve("mis", graph, backend="mpc", executor="cloud")
+
+    def test_mpi_executor_not_implemented(self):
+        graph = gnp_random_graph(40, 0.1, seed=7)
+        with pytest.raises(NotImplementedError):
+            solve("mis", graph, backend="mpc", executor="mpi")
+
+    def test_executor_instance_reused_across_solves(self):
+        graph = gnp_random_graph(80, 0.1, seed=7)
+        with DistExecutor(LocalTransport(2), distributed=True) as executor:
+            first = solve(
+                "fractional_matching",
+                graph,
+                backend="mpc",
+                seed=5,
+                executor=executor,
+            )
+            second = solve(
+                "fractional_matching",
+                graph,
+                backend="mpc",
+                seed=5,
+                executor=executor,
+            )
+        assert report_snapshot(first) == report_snapshot(second)
+
+    def test_cli_executor_flag(self, capsys):
+        from repro.api.__main__ import main as cli_main
+
+        rc = cli_main(
+            [
+                "solve",
+                "--task",
+                "fractional_matching",
+                "--backend",
+                "mpc",
+                "--graph",
+                "gnp:n=80,p=0.1",
+                "--seed",
+                "7",
+                "--executor",
+                "parallel",
+                "--workers",
+                "2",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["extras"]["executor"]["workers"] == 2
+
+
+# ---------------------------------------------------------------------------
+# kernels registry
+# ---------------------------------------------------------------------------
+
+
+class TestKernelRegistry:
+    def test_expected_kernels_registered(self):
+        names = kernel_names()
+        for required in (
+            "debug.echo",
+            "debug.fail",
+            "debug.crash",
+            "matching.machines",
+            "matching.direct_init",
+            "matching.direct_step",
+            "mis.prefix_greedy",
+            "weighted.filtering",
+        ):
+            assert required in names
+
+    def test_unknown_kernel_raises_with_listing(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_kernel("no.such.kernel")

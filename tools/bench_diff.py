@@ -1,7 +1,7 @@
 """Diff two ``BENCH_*.json`` files: per-cell speedup table + regression gate.
 
 Compares the timing cells shared by two perf-harness runs (any of the
-``benchmarks/perf`` suites — e2e, kernels, stream) and prints a
+``benchmarks/perf`` suites — e2e, kernels, stream, dist) and prints a
 per-``(task, backend, family, n)`` (or per-kernel) speedup table,
 ``baseline / current``.  With ``--fail-over F`` it exits 1 when any shared
 cell regressed by more than a factor of ``F``.
@@ -32,6 +32,9 @@ SUITE_LAYOUT: Dict[str, Tuple[Tuple[str, ...], str]] = {
     "e2e": (("task", "backend", "family", "n"), "seconds"),
     "kernels": (("kernel", "family", "n"), "csr_s"),
     "stream": (("task", "family", "n"), "repair_s"),
+    # mode is "local" or "parallel-wK" (K = worker count); see
+    # tools/run_scaling.py.
+    "dist": (("task", "family", "n", "mode"), "seconds"),
 }
 
 
@@ -65,7 +68,26 @@ def diff(
     fail_over: Optional[float],
     normalize: Optional[str],
     min_seconds: float = 0.0,
+    require_cells: Tuple[str, ...] = (),
 ) -> int:
+    # A required cell missing from EITHER run is a hard failure: a CI
+    # smoke rung that silently stopped producing its gated cell would
+    # otherwise pass forever on an empty intersection.
+    absent = [
+        key
+        for key in require_cells
+        if key not in baseline or key not in current
+    ]
+    if absent:
+        print("REQUIRED CELLS MISSING:")
+        for key in absent:
+            sides = []
+            if key not in baseline:
+                sides.append("baseline")
+            if key not in current:
+                sides.append("current")
+            print(f"  {key} (absent from: {', '.join(sides)})")
+        return 1
     shared = [key for key in baseline if key in current]
     if not shared:
         print("no shared cells between the two runs")
@@ -127,6 +149,16 @@ def main(argv=None) -> int:
         "(cancels uniform machine-speed differences)",
     )
     parser.add_argument(
+        "--require-cell",
+        action="append",
+        default=[],
+        metavar="CELL",
+        dest="require_cells",
+        help="fail (exit 1) unless CELL is present in both runs; "
+        "repeatable — use in CI so a silently missing benchmark cell "
+        "cannot pass the gate",
+    )
+    parser.add_argument(
         "--min-seconds",
         type=float,
         default=0.05,
@@ -145,6 +177,7 @@ def main(argv=None) -> int:
         args.fail_over,
         args.normalize,
         args.min_seconds,
+        tuple(args.require_cells),
     )
 
 
