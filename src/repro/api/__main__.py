@@ -93,6 +93,38 @@ def _parse_config(text: Optional[str]) -> Optional[Dict[str, Any]]:
     return payload
 
 
+def _parse_fault_policy(text: Optional[str]):
+    """Parse ``--fault-policy`` as FaultPolicy fields (e.g. '{"max_retries": 1}').
+
+    The empty object ``'{}'`` opts into supervision with the default
+    policy.
+    """
+    if text is None:
+        return None
+    from repro.dist import FaultPolicy
+
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("--fault-policy must be a JSON object")
+    try:
+        return FaultPolicy(**payload)
+    except TypeError as error:
+        raise ValueError(f"bad --fault-policy: {error}") from None
+
+
+def _parse_fault_plan(text: Optional[str]):
+    """Parse ``--fault-plan`` as FaultPlan JSON ('{"specs": [...]}')."""
+    if text is None:
+        return None
+    from repro.dist import FaultPlan
+
+    payload = json.loads(text)
+    try:
+        return FaultPlan.from_dict(payload)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"bad --fault-plan: {error}") from None
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -119,6 +151,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         verify=args.verify,
         executor=args.executor,
         workers=args.workers,
+        fault_policy=_parse_fault_policy(args.fault_policy),
+        fault_plan=_parse_fault_plan(args.fault_plan),
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -193,6 +227,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for --executor (default 2)",
+    )
+    solve_p.add_argument(
+        "--fault-policy",
+        default=None,
+        metavar="JSON",
+        help=(
+            "supervise --executor parallel: FaultPolicy fields as JSON "
+            "('{}' = defaults; e.g. '{\"max_retries\": 1, "
+            "\"step_timeout_s\": 10}')"
+        ),
+    )
+    solve_p.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help=(
+            "inject deterministic faults (chaos testing): FaultPlan JSON, "
+            "e.g. '{\"specs\": [{\"kind\": \"crash\", \"worker\": 1}]}'"
+        ),
     )
     solve_p.add_argument(
         "--verify",

@@ -3,10 +3,13 @@
 A sweep is a list of :class:`RunSpec` (task, backend, graph, seed, config,
 budget).  :func:`sweep` builds the cross product the experiment harness
 and benchmarks need (graphs × tasks × backends × seeds × configs);
-:func:`solve_many` executes the specs serially or on a ``multiprocessing``
-pool and optionally streams each finished :class:`RunReport` to a JSONL
-file as it completes — the format later analysis (and the ``repro`` CLI)
-reads back with :meth:`RunReport.from_json`.
+:func:`solve_many` executes the specs serially or on a process pool and
+optionally streams each finished :class:`RunReport` to a JSONL file as
+it completes — the format later analysis (and the ``repro`` CLI) reads
+back with :meth:`RunReport.from_json`.  The pool path degrades
+gracefully: a spec that raises becomes a failure row, and a broken pool
+(worker killed) becomes a ``BatchResult.incidents`` entry with the
+unfinished specs salvaged serially.
 """
 
 from __future__ import annotations
@@ -54,10 +57,17 @@ class RunSpec:
 
 @dataclass
 class BatchResult:
-    """Outcome of :func:`solve_many`."""
+    """Outcome of :func:`solve_many`.
+
+    ``incidents`` records batch-level degradations that are not any one
+    spec's failure — e.g. the worker pool breaking mid-sweep (a worker
+    process killed by the OS) and the unfinished specs being salvaged
+    serially.  A sweep with incidents still delivers every report.
+    """
 
     reports: List[RunReport] = field(default_factory=list)
     failures: List[Dict[str, Any]] = field(default_factory=list)
+    incidents: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
 
     def __len__(self) -> int:
@@ -181,8 +191,11 @@ def solve_many(
         The planned runs (see :func:`sweep` for the cross-product helper).
     processes:
         ``None``/``0``/``1`` runs serially in-process; ``>= 2`` uses a
-        ``multiprocessing.Pool`` of that size (graphs and configs must be
-        picklable, which every library type is).
+        process pool of that size (graphs and configs must be picklable,
+        which every library type is).  If the pool *breaks* mid-sweep (a
+        worker killed by the OS), the unfinished specs are re-run
+        serially and the event is recorded in ``BatchResult.incidents``
+        — one dying run never costs the rest of the sweep.
     jsonl_path:
         When given, each finished report is written to this file as one
         JSON line *as it completes*, so long sweeps are inspectable
@@ -233,19 +246,69 @@ def solve_many(
 
     try:
         if processes is not None and processes >= 2:
-            from repro.dist.pool import object_pool
+            from concurrent.futures import as_completed
+            from concurrent.futures.process import BrokenProcessPool
+
+            from repro.dist.pool import object_executor
 
             finished: Dict[int, RunReport] = {}
+            settled: set = set()
             graph_table, jobs = _shared_graph_jobs(spec_list)
-            with object_pool(processes, graph_table) as pool:
-                # imap_unordered streams each report the moment its worker
-                # finishes — a slow head-of-line spec cannot delay the
-                # JSONL/on_result output of the fast ones behind it.
-                for index, report, error in pool.imap_unordered(
-                    _run_indexed, jobs
-                ):
+            broken: Optional[str] = None
+            pool = object_executor(processes, graph_table)
+            try:
+                # Futures complete (and stream to JSONL/on_result) in
+                # finish order — a slow head-of-line spec cannot delay
+                # the fast ones behind it.  Unlike multiprocessing.Pool,
+                # a worker process dying mid-task surfaces promptly as
+                # BrokenProcessPool instead of hanging the iterator.
+                futures = {
+                    pool.submit(_run_indexed, job): job[0] for job in jobs
+                }
+                for future in as_completed(futures):
+                    spec_index = futures[future]
+                    try:
+                        index, report, error = future.result()
+                    except BrokenProcessPool as pool_error:
+                        broken = f"{type(pool_error).__name__}: {pool_error}"
+                        break
+                    except Exception as error:  # defensive: _run_indexed
+                        settled.add(spec_index)  # catches its own errors
+                        record_failure(
+                            spec_list[spec_index],
+                            f"{type(error).__name__}: {error}",
+                        )
+                        continue
+                    settled.add(index)
                     if error is not None:
                         record_failure(spec_list[index], error)
+                    else:
+                        finished[index] = report
+                        consume(report)
+            finally:
+                pool.shutdown(wait=broken is None, cancel_futures=True)
+            if broken is not None:
+                # The pool is unusable (a worker was killed hard enough
+                # to break it — OOM kill, os._exit in a solver).  The
+                # sweep still completes: every unsettled spec is re-run
+                # serially in this process.
+                unsettled = [
+                    index
+                    for index in range(len(spec_list))
+                    if index not in settled and index not in finished
+                ]
+                result.incidents.append(
+                    f"worker pool broke mid-sweep ({broken}); "
+                    f"{len(unsettled)} unfinished spec(s) re-run serially"
+                )
+                for index in unsettled:
+                    spec = spec_list[index]
+                    try:
+                        report = _run_spec(spec)
+                    except Exception as error:
+                        record_failure(
+                            spec, f"{type(error).__name__}: {error}"
+                        )
                     else:
                         finished[index] = report
                         consume(report)

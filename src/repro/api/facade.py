@@ -53,6 +53,8 @@ def solve(
     trace: Optional[Trace] = None,
     executor: Any = None,
     workers: Optional[int] = None,
+    fault_policy: Any = None,
+    fault_plan: Any = None,
 ) -> RunReport:
     """Solve ``task`` on ``graph`` with the chosen ``backend``.
 
@@ -106,6 +108,20 @@ def solve(
         Worker count for a string ``executor`` (default 2).  With an
         executor instance it must match the instance (or be ``None``);
         without an executor it is an error.
+    fault_policy:
+        Opt ``executor="parallel"`` into the supervised recovery path
+        (:mod:`repro.dist.faults`): ``True`` for the default
+        :class:`~repro.dist.FaultPolicy`, a policy instance, or a dict
+        of its fields.  Failed phases are retried with backoff, dead
+        workers respawned with their state journal replayed, and — when
+        the budget runs out — the solve degrades mid-flight onto the
+        in-process transport, byte-identical by construction.  The
+        recovery record lands in ``report.extras["faults"]``.
+    fault_plan:
+        A :class:`~repro.dist.FaultPlan` (or its dict form) of
+        deterministic fault injections, for chaos testing the supervised
+        path; implies a default ``fault_policy`` when none is given.
+        Requires ``executor="parallel"``.
 
     Returns
     -------
@@ -119,7 +135,9 @@ def solve(
             "report's seed field reproduces the run"
         )
     entry = registry.resolve(task, backend)
-    dist_executor, owned = resolve_executor(executor, workers)
+    dist_executor, owned = resolve_executor(
+        executor, workers, fault_policy=fault_policy, fault_plan=fault_plan
+    )
     if dist_executor is not None and not entry.supports_executor:
         if owned:
             dist_executor.close()
@@ -157,12 +175,17 @@ def solve(
 
     extras = dict(output.extras)
     if dist_executor is not None:
+        recovery_log = dist_executor.recovery_log
         extras["executor"] = {
             "kind": dist_executor.kind,
             "workers": dist_executor.workers,
             "distributed": dist_executor.distributed,
+            "supervised": recovery_log is not None,
             "phase_walls": dist_executor.phase_walls(),
         }
+        if recovery_log is not None:
+            # Read after close: the log object outlives the transport.
+            extras["faults"] = recovery_log.summary()
 
     report = RunReport(
         task=entry.task,

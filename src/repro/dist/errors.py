@@ -1,0 +1,74 @@
+"""Failure types of the distributed executor.
+
+The distributed layer turns every worker-side failure into a single,
+catchable exception family.  A kernel that raises, a worker process that
+dies mid-phase, a reply that misses its receive deadline, a message that
+fails its CRC32 integrity check, and a transport used after teardown all
+surface as :class:`DistExecutionError` (or a subclass) in the driver —
+never as a hang on a pipe read, and never as a bare ``EOFError`` whose
+origin the caller cannot place.
+
+Every error carries *structured* context — which phase, which worker,
+how many attempts the supervision layer made, and what recovery action
+it took — so callers (and the recovery log) never have to parse the
+message string.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DistExecutionError(RuntimeError):
+    """A distributed step failed (worker death, kernel error, closed transport).
+
+    Attributes
+    ----------
+    worker_id:
+        The worker the failure was observed on, or ``None`` when the
+        failure is not attributable to one worker (e.g. transport closed).
+    phase:
+        The kernel/phase name the failure happened in (``"install 's'"``
+        style strings for session commands), or ``None`` when unknown.
+    attempts:
+        How many times the step was attempted before this error was
+        raised (1 on the unsupervised fail-fast path), or ``None``.
+    recovery:
+        The recovery action taken before raising: ``"none"`` (nothing to
+        recover), ``"transport-closed"`` (fail-fast teardown),
+        ``"retries-exhausted"`` / ``"respawn-budget-exhausted"`` /
+        ``"respawn-failed"`` (supervision gave up), or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: Optional[int] = None,
+        *,
+        phase: Optional[str] = None,
+        attempts: Optional[int] = None,
+        recovery: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.phase = phase
+        self.attempts = attempts
+        self.recovery = recovery
+
+
+class DistTimeoutError(DistExecutionError):
+    """A worker reply missed its receive deadline (poll-based, never a hang).
+
+    The stuck worker is killed when this is detected: a pipe whose reply
+    may still arrive later can no longer be trusted to stay frame-aligned
+    with subsequent steps.
+    """
+
+
+class DistCorruptionError(DistExecutionError):
+    """A message failed its CRC32 integrity check.
+
+    Raised driver-side for a corrupt worker reply; a worker receiving a
+    corrupt command replies with an error instead (the frame-delimited
+    protocol keeps the stream aligned either way).
+    """

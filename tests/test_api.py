@@ -9,6 +9,7 @@ seeds — the contract that makes backends interchangeable.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -59,6 +60,22 @@ def shared_grid():
 GRID = shared_grid()
 PAIRS = registry.pairs()
 SEEDS = (1, 9)
+
+_PARENT_PID = os.getpid()
+from repro.api.batch import _run_indexed as _real_run_indexed  # noqa: E402
+
+
+def _exit_in_child(job):
+    """Pool sabotage: hard-kill the worker handling spec #1.
+
+    Module-level so the pool can pickle it by reference; the PID guard
+    keeps the parent's serial salvage pass (which runs the same specs)
+    alive.  ``os._exit`` models an OOM kill — no exception, no cleanup,
+    just a dead process and a broken pool.
+    """
+    if job[0] == 1 and os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return _real_run_indexed(job)
 
 
 class TestRegistry:
@@ -397,6 +414,30 @@ class TestSolveManyFailurePaths:
         result = solve_many(specs, processes=2, jsonl_path=out)
         assert len(result.failures) == 1
         assert len(read_jsonl(out)) == 1
+
+    def test_broken_pool_salvages_sweep_serially(self, monkeypatch):
+        # A worker process dying outright (OOM-kill class, not a Python
+        # exception) breaks the pool.  The sweep must still deliver every
+        # report — the unfinished specs re-run serially — and record the
+        # incident instead of raising.
+        import repro.api.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_run_indexed", _exit_in_child)
+        specs = sweep(
+            ["mis"],
+            [path_graph(6)],
+            backends="greedy",
+            seeds=(1, 2, 3, 4),
+        )
+        result = solve_many(specs, processes=2)
+        assert len(result.reports) == 4
+        assert not result.failures
+        assert result.incidents
+        assert "re-run serially" in result.incidents[0]
+        serial = solve_many(specs)
+        assert [r.solution for r in result.reports] == [
+            r.solution for r in serial.reports
+        ]
 
 
 class TestRunReportSchema:

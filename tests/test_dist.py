@@ -13,6 +13,8 @@ a hang.
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import numpy as np
 import pytest
@@ -21,14 +23,31 @@ from repro.api import registry, solve
 from repro.dist import (
     DistExecutionError,
     DistExecutor,
+    DistTimeoutError,
     LocalTransport,
     MPITransport,
     MultiprocessTransport,
     resolve_executor,
 )
-from repro.dist.kernels import get_kernel, kernel_names
+from repro.dist.kernels import get_kernel, kernel, kernel_names
 from repro.dist.pool import dedupe_by_identity, object_pool, worker_object
 from repro.graph.generators import gnp_random_graph, random_weighted_graph
+
+
+@kernel("test.map_crash")
+def _map_crash_kernel(ctx, payload):
+    """Test kernel: die mid-chunk on the victim worker (fork-inherited).
+
+    Registered at module import so forked transport workers carry it;
+    crashing partway through a task chunk exercises the mid-``map_tasks``
+    failure window (some results computed, none delivered).
+    """
+    results = []
+    for task in payload["tasks"]:
+        if task == "boom" and ctx.worker_id == payload["shared"]["victim"]:
+            os._exit(5)
+        results.append(task * 2)
+    return results
 
 # ---------------------------------------------------------------------------
 # transports
@@ -101,6 +120,9 @@ class TestMultiprocessTransport:
                     "debug.fail", [{"fail": True}, {"fail": False}]
                 )
             assert info.value.worker_id == 0
+            assert info.value.phase == "debug.fail"
+            assert info.value.attempts == 1
+            assert info.value.recovery == "none"
             assert "ValueError" in str(info.value)
             # The workers survived the kernel exception: same pool, next step.
             results = _echo_all(transport, "still-alive")
@@ -109,10 +131,14 @@ class TestMultiprocessTransport:
     def test_worker_death_raises_cleanly_and_closes(self):
         transport = MultiprocessTransport(2)
         try:
-            with pytest.raises(DistExecutionError, match="died"):
+            with pytest.raises(DistExecutionError, match="died") as info:
                 transport.step(
                     "debug.crash", [{"exit": 1}, {"exit": None}]
                 )
+            assert info.value.worker_id == 0
+            assert info.value.phase == "debug.crash"
+            assert info.value.attempts == 1
+            assert info.value.recovery == "transport-closed"
             # Everything is torn down; further use reports closed, not a hang.
             with pytest.raises(DistExecutionError, match="closed"):
                 _echo_all(transport, "after-death")
@@ -274,6 +300,9 @@ def report_snapshot(report):
     data.pop("wall_time_s")
     data.pop("peak_rss_bytes")
     data.get("extras", {}).pop("executor", None)
+    # Recovery events carry latencies/attempt counts that legitimately
+    # vary run to run; the *solution* bytes are what parity pins.
+    data.get("extras", {}).pop("faults", None)
     return data
 
 
@@ -401,6 +430,88 @@ class TestParity:
         finally:
             transport.step = original_step
             executor.close()
+
+
+# ---------------------------------------------------------------------------
+# failure windows: barriers, chunk streams, deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestFailureWindows:
+    def test_worker_death_during_broadcast_barrier(self):
+        # One worker dies while the driver sits in the broadcast barrier
+        # waiting for its reply: the step must raise, not hang.
+        transport = MultiprocessTransport(2)
+        executor = DistExecutor(transport, kind="parallel")
+        try:
+            assert len(executor.broadcast_step("debug.echo", {"value": 1})) == 2
+            transport.kill_worker(1)
+            with pytest.raises(DistExecutionError, match="died") as info:
+                executor.broadcast_step("debug.echo", {"value": 2})
+            assert info.value.worker_id == 1
+            assert info.value.recovery == "transport-closed"
+        finally:
+            executor.close()
+
+    def test_worker_death_mid_map_tasks_chunk(self):
+        # The victim dies partway through its task chunk — results it
+        # already computed are lost with it, and the driver must observe
+        # a dead pipe for the whole chunk, not a short result list.
+        transport = MultiprocessTransport(2)
+        executor = DistExecutor(transport, kind="parallel")
+        try:
+            tasks = ["a", "b", "boom", "c"]
+            with pytest.raises(DistExecutionError, match="died") as info:
+                executor.map_tasks(
+                    "test.map_crash", tasks, shared={"victim": 1}
+                )
+            assert info.value.worker_id == 1
+            assert info.value.phase == "test.map_crash"
+        finally:
+            executor.close()
+
+    def test_sleeping_kernel_raises_within_deadline(self):
+        # A kernel that sleeps past the receive deadline must raise a
+        # DistTimeoutError promptly — the poll loop, not a blocked read,
+        # owns the wait.
+        transport = MultiprocessTransport(2, step_timeout_s=1.0)
+        started = time.monotonic()
+        try:
+            with pytest.raises(DistTimeoutError, match="timed out") as info:
+                transport.step(
+                    "debug.sleep", [{"seconds": 30.0}, {"seconds": 0.0}]
+                )
+        finally:
+            transport.close()
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0, f"deadline did not bound the wait ({elapsed:.1f}s)"
+        assert info.value.worker_id == 0
+        assert info.value.recovery == "transport-closed"
+
+    def test_close_escalates_past_sigterm_ignoring_worker(self):
+        # A worker that masks SIGTERM and sleeps survives terminate();
+        # close() must escalate to SIGKILL within its timeout instead of
+        # hanging, and the shared segments must still be unlinked.
+        transport = MultiprocessTransport(2, close_timeout_s=0.3)
+        transport.install("s", {"x": np.arange(4)})
+        segment_names = [
+            segment.name for segment in transport._segments["s"]
+        ]
+        # Fire-and-forget: the wedge kernel never replies in time, so
+        # send the command directly and close while the workers sleep.
+        from repro.dist.transport import _send_msg
+
+        for handle in transport._workers:
+            _send_msg(handle.conn, ("step", "debug.wedge", {"seconds": 30.0}))
+        time.sleep(0.2)  # let the workers enter the wedge
+        started = time.monotonic()
+        transport.close()
+        assert time.monotonic() - started < 5.0
+        from multiprocessing import shared_memory
+
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
 
 # ---------------------------------------------------------------------------
