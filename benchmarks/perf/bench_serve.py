@@ -1,0 +1,214 @@
+"""Serving latency: p50/p99 per-update and per-query under concurrent tenants.
+
+Starts an in-process :class:`repro.serve.ServeService` on a loopback TCP
+socket, connects ``TENANTS`` concurrent clients (each its own tenant
+session — mixed tasks, per-tenant graphs and streams), and drives every
+tenant through a churn stream: each epoch is one synchronous ``ingest``
+(measured: full round-trip until the epoch is repaired) followed by a
+``quality`` query (measured: round-trip against the maintained solution,
+no re-solve).  All tenants run simultaneously, so the p99s include what
+a tenant actually experiences in a shared service: queueing behind other
+tenants' repairs on the single event loop.
+
+Cells are keyed ``task/family/n/op`` (suite ``"serve"``; op ``update``
+or ``query``) and gated in CI by ``tools/bench_diff.py`` against the
+committed ``BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --rung full \
+        --out benchmarks/perf/BENCH_serve.json
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --rung small \
+        --out /tmp/serve_smoke.json          # the CI smoke invocation
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Tuple
+
+if __package__ in (None, ""):
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from perf.common import environment_stamp, ladder_graph, write_json
+
+SERVE_SEED = 7
+EPOCHS = 12
+CHURN_FRACTION = 0.01
+KEY_FIELDS = ("task", "family", "n", "op")
+
+# Four concurrent tenants, three distinct tasks: the mixed-task load a
+# shared service actually sees (mis twice: it is the cheapest repair, so
+# its latencies show the queueing-behind-others effect most clearly).
+TENANTS: List[Tuple[str, str]] = [
+    ("alice", "mis"),
+    ("bob", "matching"),
+    ("carol", "fractional_matching"),
+    ("dave", "mis"),
+]
+
+# The full rung keeps the small rung's n so the committed baseline always
+# contains the cells the CI smoke invocation gates on.
+SERVE_RUNGS: Dict[str, List[int]] = {
+    "small": [2_000],
+    "full": [2_000, 5_000, 20_000],
+}
+
+
+def _percentiles(samples: List[float]) -> Tuple[float, float]:
+    ordered = sorted(samples)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return p50, p99
+
+
+def _drive_tenant(
+    port: int,
+    tenant: str,
+    task: str,
+    n: int,
+    offset: int,
+    barrier: threading.Barrier,
+    sink: Dict[str, Dict[str, List[float]]],
+) -> None:
+    from repro.serve import ServeClient
+    from repro.stream.updates import churn_batches
+
+    initial = ladder_graph("random", n)
+    batches = list(
+        churn_batches(
+            initial,
+            epochs=EPOCHS,
+            churn_fraction=CHURN_FRACTION,
+            seed=SERVE_SEED + offset,
+        )
+    )
+    updates: List[float] = []
+    queries: List[float] = []
+    with ServeClient(port=port) as client:
+        client.open(
+            tenant,
+            task,
+            n=initial.num_vertices,
+            edges=initial.edge_list(),
+            seed=SERVE_SEED,
+        )
+        barrier.wait()  # every tenant's stream starts at the same instant
+        for seq, batch in enumerate(batches, start=1):
+            started = time.perf_counter()
+            client.ingest(tenant, batch, seq=seq, sync=True)
+            updates.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            client.quality(tenant)
+            queries.append(time.perf_counter() - started)
+    sink[tenant] = {"task": task, "update": updates, "query": queries}
+
+
+def run_rung(n: int) -> List[Dict[str, Any]]:
+    from repro.serve import ServeConfig, ServeService
+
+    loop = asyncio.new_event_loop()
+    service = ServeService(ServeConfig())
+    ready = threading.Event()
+
+    def serve() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        ready.set()
+        loop.run_until_complete(service.serve_until_stopped())
+
+    server_thread = threading.Thread(target=serve, daemon=True)
+    server_thread.start()
+    ready.wait(timeout=60)
+
+    sink: Dict[str, Dict[str, Any]] = {}
+    barrier = threading.Barrier(len(TENANTS))
+    threads = [
+        threading.Thread(
+            target=_drive_tenant,
+            args=(service.port, tenant, task, n, offset, barrier, sink),
+        )
+        for offset, (tenant, task) in enumerate(TENANTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    from repro.serve import ServeClient
+
+    with ServeClient(port=service.port) as client:
+        client.shutdown()
+    server_thread.join(timeout=30)
+
+    # Aggregate latencies per task (mis has two tenants; their samples
+    # pool into one cell).
+    by_task: Dict[str, Dict[str, List[float]]] = {}
+    for data in sink.values():
+        bucket = by_task.setdefault(data["task"], {"update": [], "query": []})
+        bucket["update"].extend(data["update"])
+        bucket["query"].extend(data["query"])
+
+    rows: List[Dict[str, Any]] = []
+    for task in sorted(by_task):
+        for op in ("update", "query"):
+            samples = by_task[task][op]
+            p50, p99 = _percentiles(samples)
+            rows.append(
+                {
+                    "task": task,
+                    "family": "random",
+                    "n": n,
+                    "op": op,
+                    "tenants": len(TENANTS),
+                    "count": len(samples),
+                    "p50_ms": round(1000 * p50, 3),
+                    "p99_ms": round(1000 * p99, 3),
+                }
+            )
+            print(
+                f"{task:20s} n={n:>7d} {op:6s} "
+                f"p50={1000 * p50:8.2f}ms p99={1000 * p99:8.2f}ms "
+                f"({len(samples)} samples, {len(TENANTS)} tenants)",
+                flush=True,
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rung", choices=sorted(SERVE_RUNGS), default="small")
+    parser.add_argument("--out", help="write results JSON to this path")
+    args = parser.parse_args(argv)
+
+    results: List[Dict[str, Any]] = []
+    for n in SERVE_RUNGS[args.rung]:
+        results.extend(run_rung(n))
+
+    if args.out:
+        write_json(
+            args.out,
+            {
+                "schema": 1,
+                "suite": "serve",
+                "rung": args.rung,
+                "seed": SERVE_SEED,
+                "epochs": EPOCHS,
+                "churn": CHURN_FRACTION,
+                "tenants": len(TENANTS),
+                "environment": environment_stamp(),
+                "results": results,
+            },
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

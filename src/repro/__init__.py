@@ -64,6 +64,7 @@ from repro.core import (
 from repro.congested_clique import CCMISResult, congested_clique_mis
 from repro.api import (
     RunReport,
+    ServeReport,
     StreamReport,
     solve,
     solve_many,
@@ -80,6 +81,7 @@ __all__ = [
     "sweep",
     "solve_stream",
     "RunReport",
+    "ServeReport",
     "StreamReport",
     "ClusterSpec",
     "Graph",

@@ -47,13 +47,17 @@ import repro.api.adapters  # noqa: E402,F401  (registration side effect)
 
 # Last: repro.stream's modules import repro.api lazily (inside functions),
 # so pulling the stream entry points in here is cycle-free only once the
-# façade above is fully bound.
+# façade above is fully bound.  repro.serve sits on top of repro.stream,
+# so its report rides in under the same ordering constraint.
 from repro.stream.driver import StreamReport, solve_stream  # noqa: E402
+from repro.serve.report import ServeReport, TenantReport  # noqa: E402
 
 __all__ = [
     "solve",
     "solve_stream",
     "StreamReport",
+    "ServeReport",
+    "TenantReport",
     "solve_many",
     "sweep",
     "read_jsonl",

@@ -131,11 +131,56 @@ def _run_spec(spec: RunSpec) -> RunReport:
         budget=spec.budget,
         verify=spec.verify,
     )
+    extras: Dict[str, Any] = {}
     if spec.label:
+        extras["spec_label"] = spec.label
+    if spec.backend != report.backend:
+        # The resolved backend (e.g. "auto" -> "numpy") overwrote the
+        # requested one; keep the request so append-resume can match
+        # this report back to its spec.
+        extras["spec_backend"] = spec.backend
+    if extras:
         report = dataclasses.replace(
-            report, extras={**report.extras, "spec_label": spec.label}
+            report, extras={**report.extras, **extras}
         )
     return report
+
+
+def _trim_partial_tail(path: PathLike) -> None:
+    """Truncate ``path`` back to the end of its last newline-terminated
+    line (drops the partial record a killed writer left behind)."""
+    with open(path, "rb+") as stream:
+        stream.seek(0, os.SEEK_END)
+        position = stream.tell()
+        if position == 0:
+            return
+        stream.seek(position - 1)
+        if stream.read(1) == b"\n":
+            return
+        chunk = 4096
+        while position > 0:
+            step = min(chunk, position)
+            stream.seek(position - step)
+            data = stream.read(step)
+            cut = data.rfind(b"\n")
+            if cut != -1:
+                stream.truncate(position - step + cut + 1)
+                return
+            position -= step
+        stream.truncate(0)
+
+
+def _spec_key(spec: RunSpec) -> Tuple[str, str, Optional[int], str]:
+    return (spec.task, spec.backend, spec.seed, spec.label)
+
+
+def _report_key(report: RunReport) -> Tuple[str, str, Optional[int], str]:
+    return (
+        report.task,
+        report.extras.get("spec_backend", report.backend),
+        report.seed,
+        report.extras.get("spec_label", ""),
+    )
 
 
 def _run_indexed(job):
@@ -204,7 +249,13 @@ def solve_many(
     append:
         ``False`` (default) truncates ``jsonl_path`` so the file holds
         exactly this sweep; ``True`` appends, for resuming/accumulating
-        across invocations.
+        across invocations.  Appending is *idempotent*: specs whose
+        ``(task, backend, seed, label)`` already settled in the existing
+        file are skipped (their prior reports join
+        ``BatchResult.reports`` and the skip count lands in
+        ``BatchResult.incidents``), so re-running an interrupted sweep
+        only pays for what is missing.  Failed specs never reach the
+        file, so they are always retried.
     on_result:
         Optional callback invoked with each finished report (progress
         bars, live tables).
@@ -216,6 +267,56 @@ def solve_many(
     spec_list = list(specs)
     result = BatchResult()
     started = time.perf_counter()
+
+    if (
+        jsonl_path is not None
+        and append
+        and os.path.exists(jsonl_path)
+        and os.path.getsize(jsonl_path) > 0
+    ):
+        # Idempotent resume: anything that already settled into the file
+        # is adopted as-is instead of re-run (last occurrence wins, so a
+        # spec deliberately re-swept supersedes its older line).
+        import warnings
+
+        from repro.utils.jsonl import TruncatedJSONLWarning
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            settled_reports = {
+                _report_key(report): report
+                for report in read_jsonl(jsonl_path)
+            }
+        truncated = False
+        for warning in caught:
+            warnings.warn_explicit(
+                warning.message,
+                warning.category,
+                warning.filename,
+                warning.lineno,
+            )
+            truncated = truncated or issubclass(
+                warning.category, TruncatedJSONLWarning
+            )
+        if truncated:
+            # The file ends in an unparseable partial record (a killed
+            # writer).  Appending after it would fuse the next report
+            # onto the garbage, so cut the file back to its last intact
+            # line; the chopped spec was never adopted and re-runs.
+            _trim_partial_tail(jsonl_path)
+        remaining: List[RunSpec] = []
+        for spec in spec_list:
+            prior = settled_reports.get(_spec_key(spec))
+            if prior is not None:
+                result.reports.append(prior)
+            else:
+                remaining.append(spec)
+        if len(remaining) < len(spec_list):
+            result.incidents.append(
+                f"resume: skipped {len(spec_list) - len(remaining)} "
+                f"already-settled spec(s) found in {os.fspath(jsonl_path)}"
+            )
+            spec_list = remaining
 
     stream: Optional[IO[str]] = None
     if jsonl_path is not None:
@@ -335,11 +436,15 @@ def solve_many(
 
 
 def read_jsonl(path: PathLike) -> List[RunReport]:
-    """Load every report from a JSONL file written by :func:`solve_many`."""
-    reports: List[RunReport] = []
+    """Load every report from a JSONL file written by :func:`solve_many`.
+
+    Crash-tolerant: a truncated final line — exactly what a killed
+    ``solve_many`` writer leaves behind — is skipped with a
+    :class:`~repro.utils.jsonl.TruncatedJSONLWarning` and every intact
+    report is returned; a record failing to parse *mid-file* raises a
+    line-numbered :class:`~repro.utils.jsonl.JSONLCorruptionError`.
+    """
+    from repro.utils.jsonl import parse_jsonl_lines
+
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                reports.append(RunReport.from_json(line))
-    return reports
+        return list(parse_jsonl_lines(stream, RunReport.from_json, source=path))

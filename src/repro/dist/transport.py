@@ -48,10 +48,12 @@ sessions), and the fault-injection hooks (:meth:`kill_worker`,
 
 from __future__ import annotations
 
+import atexit
 import gc
 import pickle
 import time
 import traceback
+import weakref
 import zlib
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -447,6 +449,26 @@ class _WorkerHandle:
         self.dead = False
 
 
+# Driver-owned shared-memory segments outlive an interrupted solve: a
+# Ctrl-C mid-step unwinds through frames that still reference the
+# transport, ``__del__`` is then at the mercy of GC order during
+# interpreter shutdown, and every segment the driver created stays
+# linked in /dev/shm (with the resource tracker shouting about leaks it
+# cannot safely clean).  One process-wide atexit hook closes whatever
+# transports are still live at exit; the WeakSet keeps the hook from
+# pinning transports that were closed and collected normally.
+_LIVE_TRANSPORTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_transports() -> None:  # pragma: no cover - exercised via subprocess test
+    for transport in list(_LIVE_TRANSPORTS):
+        try:
+            transport.close()
+        except Exception:
+            pass
+
+
 class MultiprocessTransport(Transport):
     """A persistent pool of worker *processes* behind the transport API.
 
@@ -496,6 +518,9 @@ class MultiprocessTransport(Transport):
         self._delay_injections: Dict[int, float] = {}
         self._corrupt_injections: Set[int] = set()
         self._closed = False
+        # Registered before the first segment can exist, so an interrupt
+        # at any later point finds this transport in the atexit sweep.
+        _LIVE_TRANSPORTS.add(self)
         try:
             for worker_id in range(workers):
                 self._workers.append(self._spawn(worker_id))
@@ -646,6 +671,7 @@ class MultiprocessTransport(Transport):
         if self._closed:
             return
         self._closed = True
+        _LIVE_TRANSPORTS.discard(self)
         try:
             for handle in self._workers:
                 if handle.dead:

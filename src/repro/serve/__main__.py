@@ -1,0 +1,339 @@
+"""Command-line entry point for the graph service.
+
+Run a service::
+
+    python -m repro.serve --port 7471 --snapshot-dir state/ --snapshot-every 4
+
+``--port 0`` binds an ephemeral port; ``--port-file`` writes the bound
+port to a file once the service is listening (how the conformance check
+and the benchmark find their subprocess servers).
+
+Conformance mode (the CI gate)::
+
+    python -m repro.serve --check
+
+``--check`` proves the crash-safety contract end to end, twice over:
+
+1. **Uninterrupted run** — a service subprocess serves two tenants
+   (``mis`` and ``matching``) through a verified churn stream; every
+   epoch must certify clean.
+2. **Crashed run** — a second subprocess serves the *same* stream but is
+   ``SIGKILL``-ed mid-stream, restarted on the same snapshot directory,
+   and the client replays the whole stream with sequence numbers (the
+   already-processed prefix must be acknowledged as duplicates).
+
+Exit status is 0 iff both runs certify clean AND the crashed run's final
+solutions, qualities, and per-epoch certificates after the snapshot
+cursor are byte-identical to the uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.client import ServeClient
+from repro.serve.service import ServeConfig, ServeService
+from repro.stream.updates import EdgeBatch, make_scenario
+
+CHECK_TASKS = (("alice", "mis"), ("bob", "matching"))
+CHECK_N = 64
+CHECK_EPOCHS = 8
+CHECK_CHURN = 0.05
+CHECK_SEED = 20180723
+CHECK_KILL_AFTER = 5  # epochs ingested before SIGKILL
+CHECK_SNAPSHOT_EVERY = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Crash-safe multi-tenant streaming graph service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for per-tenant snapshots (enables restore-at-boot)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="EPOCHS",
+        help="snapshot a tenant every EPOCHS processed epochs (0 = only "
+        "on demand and at shutdown)",
+    )
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--max-pending-edits", type=int, default=100_000)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the kill -9 crash-safety conformance check and exit",
+    )
+    return parser
+
+
+async def _run_service(args: argparse.Namespace) -> None:
+    service = ServeService(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            snapshot_dir=args.snapshot_dir,
+            snapshot_every=args.snapshot_every,
+            max_queue=args.max_queue,
+            max_pending_edits=args.max_pending_edits,
+        )
+    )
+    await service.start()
+    print(
+        f"repro.serve listening on {args.host}:{service.port} "
+        f"({len(service._tenants)} tenant(s) restored)",
+        flush=True,
+    )
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as stream:
+            stream.write(str(service.port))
+    await service.serve_until_stopped()
+
+
+# -- conformance -------------------------------------------------------------
+
+
+def _spawn_server(snapshot_dir: str, port_file: str) -> subprocess.Popen:
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--port",
+            "0",
+            "--port-file",
+            port_file,
+            "--snapshot-dir",
+            snapshot_dir,
+            "--snapshot-every",
+            str(CHECK_SNAPSHOT_EVERY),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    return process
+
+
+def _wait_for_port(port_file: str, process: subprocess.Popen, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"service subprocess exited early with {process.returncode}"
+            )
+        try:
+            with open(port_file, "r", encoding="utf-8") as stream:
+                text = stream.read().strip()
+            if text:
+                return int(text)
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise RuntimeError("timed out waiting for the service to listen")
+
+
+def _check_streams() -> Dict[str, Tuple[Any, List[EdgeBatch]]]:
+    streams = {}
+    for offset, (tenant, task) in enumerate(CHECK_TASKS):
+        graph, batches = make_scenario(
+            "churn",
+            n=CHECK_N,
+            epochs=CHECK_EPOCHS,
+            churn_fraction=CHECK_CHURN,
+            seed=CHECK_SEED + offset,
+        )
+        streams[tenant] = (task, graph, batches)
+    return streams
+
+
+def _open_all(client: ServeClient, streams: Dict[str, Any]) -> None:
+    for tenant, (task, graph, _) in streams.items():
+        response = client.open(
+            tenant,
+            task,
+            n=graph.num_vertices,
+            edges=graph.edge_list(),
+            seed=CHECK_SEED,
+            verify=True,
+        )
+        assert response["ok"]
+
+
+def _ingest_range(
+    client: ServeClient,
+    streams: Dict[str, Any],
+    start: int,
+    stop: int,
+) -> int:
+    duplicates = 0
+    for index in range(start, stop):
+        for tenant, (_, _, batches) in streams.items():
+            response = client.ingest(
+                tenant, batches[index], seq=index + 1, sync=True
+            )
+            if response["outcome"] == "duplicate":
+                duplicates += 1
+    return duplicates
+
+
+def _final_state(client: ServeClient, streams: Dict[str, Any]) -> Dict[str, Any]:
+    state = {}
+    for tenant in streams:
+        client.flush(tenant)
+        state[tenant] = {
+            "solution": client.solution(tenant),
+            "quality": client.quality(tenant),
+            "certificate": client.certificate(tenant),
+            "verifications": [
+                record["verification"] for record in client.epochs(tenant)
+            ],
+        }
+    return state
+
+
+def run_check() -> int:
+    failures: List[str] = []
+    streams = _check_streams()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-check-") as root:
+        # Run 1: uninterrupted.
+        port_file = os.path.join(root, "a.port")
+        snap_a = os.path.join(root, "snap-a")
+        server = _spawn_server(snap_a, port_file)
+        try:
+            port = _wait_for_port(port_file, server)
+            with ServeClient(port=port) as client:
+                _open_all(client, streams)
+                _ingest_range(client, streams, 0, CHECK_EPOCHS)
+                baseline = _final_state(client, streams)
+                report = client.report()
+                if not report.ok:
+                    failures.append("uninterrupted run has failing epochs")
+                client.shutdown()
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+        print(
+            f"[serve --check] uninterrupted: {CHECK_EPOCHS} epochs x "
+            f"{len(streams)} tenants certified", flush=True,
+        )
+
+        # Run 2: SIGKILL mid-stream, restart on the same snapshot dir,
+        # replay everything.
+        port_file = os.path.join(root, "b.port")
+        snap_b = os.path.join(root, "snap-b")
+        server = _spawn_server(snap_b, port_file)
+        try:
+            port = _wait_for_port(port_file, server)
+            with ServeClient(port=port) as client:
+                _open_all(client, streams)
+                _ingest_range(client, streams, 0, CHECK_KILL_AFTER)
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+        print(
+            f"[serve --check] killed -9 after {CHECK_KILL_AFTER} epochs; "
+            "restarting on the snapshot directory", flush=True,
+        )
+
+        server = _spawn_server(snap_b, port_file)
+        try:
+            port = _wait_for_port(port_file, server)
+            with ServeClient(port=port) as client:
+                restored = client.ping()["tenants"]
+                if sorted(restored) != sorted(streams):
+                    failures.append(
+                        f"restored tenants {restored} != {sorted(streams)}"
+                    )
+                # Idempotent re-open must report the restored sessions.
+                for tenant, (task, graph, _) in streams.items():
+                    response = client.open(tenant, task)
+                    if not response.get("existing"):
+                        failures.append(f"re-open of {tenant!r} not existing")
+                duplicates = _ingest_range(client, streams, 0, CHECK_EPOCHS)
+                if duplicates == 0:
+                    failures.append(
+                        "replay after restore acknowledged no duplicates"
+                    )
+                recovered = _final_state(client, streams)
+                report = client.report()
+                if not report.ok:
+                    failures.append("recovered run has failing epochs")
+                for tenant in streams:
+                    restores = report.tenant(tenant).counters.get("restores", 0)
+                    if restores < 1:
+                        failures.append(f"{tenant!r} did not count a restore")
+                client.shutdown()
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+
+    # The crash must be invisible in the final state: same solution, same
+    # quality, and byte-identical certificates for every epoch both runs
+    # actually certified (the recovered run re-certifies everything after
+    # the snapshot cursor; the prefix rides along in the snapshot).
+    for tenant, base in baseline.items():
+        got = recovered[tenant]
+        if got["solution"] != base["solution"]:
+            failures.append(f"{tenant!r}: final solution diverged")
+        if got["quality"] != base["quality"]:
+            failures.append(f"{tenant!r}: final quality diverged")
+        if got["certificate"] != base["certificate"]:
+            failures.append(f"{tenant!r}: final certificate diverged")
+        if got["verifications"] != base["verifications"]:
+            failures.append(f"{tenant!r}: per-epoch certificates diverged")
+
+    if failures:
+        for failure in failures:
+            print(f"[serve --check] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "[serve --check] OK: kill -9 + restore converged byte-identically "
+        f"({len(streams)} tenants, {CHECK_EPOCHS} epochs, "
+        f"snapshot every {CHECK_SNAPSHOT_EVERY})", flush=True,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.check:
+        return run_check()
+    try:
+        asyncio.run(_run_service(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""A small blocking client for the ``repro.serve`` line protocol.
+
+Used by the test-suite, the conformance check, and the serve benchmark;
+it is also the reference implementation for external clients: connect a
+TCP socket, write one JSON object per line, read one JSON object per
+line back.  Raises :class:`ServeError` when a response carries
+``ok: false``, except for ``shed`` ingest outcomes which are part of the
+backpressure contract and returned to the caller to retry.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.report import ServeReport
+from repro.stream.updates import EdgeBatch
+
+
+class ServeError(RuntimeError):
+    """The service answered ``ok: false``."""
+
+
+class ServeClient:
+    """Blocking newline-JSON client; usable as a context manager."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round-trip; raises on ``ok: false``."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("connection closed by service")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown service error"))
+        return response
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def open(
+        self,
+        tenant: str,
+        task: Optional[str] = None,
+        *,
+        n: int = 0,
+        edges: Optional[List[Tuple[int, int]]] = None,
+        backend: str = "auto",
+        seed: Optional[int] = None,
+        resolve_fraction: float = 0.25,
+        verify: bool = False,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "op": "open",
+            "tenant": tenant,
+            "n": n,
+            "edges": [[int(u), int(v)] for u, v in edges or []],
+            "backend": backend,
+            "seed": seed,
+            "resolve_fraction": resolve_fraction,
+            "verify": verify,
+        }
+        if task is not None:
+            payload["task"] = task
+        return self.request(payload)
+
+    def ingest(
+        self,
+        tenant: str,
+        batch: EdgeBatch,
+        *,
+        seq: Optional[int] = None,
+        sync: bool = False,
+    ) -> Dict[str, Any]:
+        """Offer one batch; a ``shed`` outcome is returned, not raised."""
+        return self.request(
+            {
+                "op": "ingest",
+                "tenant": tenant,
+                "batch": batch.to_dict(),
+                "seq": seq,
+                "sync": sync,
+            }
+        )
+
+    def query(self, tenant: str, what: str = "status", **extra: Any) -> Dict[str, Any]:
+        return self.request(
+            {"op": "query", "tenant": tenant, "what": what, **extra}
+        )
+
+    def solution(self, tenant: str) -> Any:
+        return self.query(tenant, "solution")["solution"]
+
+    def quality(self, tenant: str) -> float:
+        return float(self.query(tenant, "quality")["quality"])
+
+    def certificate(self, tenant: str) -> Dict[str, Any]:
+        return self.query(tenant, "certificate")["certificate"]
+
+    def status(self, tenant: str) -> Dict[str, Any]:
+        return self.query(tenant, "status")["status"]
+
+    def epochs(self, tenant: str, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        extra = {} if last is None else {"last": last}
+        return self.query(tenant, "epochs", **extra)["epochs"]
+
+    def flush(self, tenant: str) -> Dict[str, Any]:
+        return self.request({"op": "flush", "tenant": tenant})
+
+    def snapshot(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "snapshot"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self.request(payload)
+
+    def report(self) -> ServeReport:
+        return ServeReport.from_dict(self.request({"op": "report"})["report"])
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})

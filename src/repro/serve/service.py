@@ -1,0 +1,420 @@
+"""The asyncio service: newline-JSON protocol over TCP, per-tenant workers.
+
+Protocol: one JSON object per line in each direction.  Every request
+carries an ``op`` and (except ``ping``/``report``/``shutdown``) a
+``tenant``; every response carries ``ok`` plus op-specific fields, with
+``ok: false`` and an ``error`` string on failure — a malformed request
+never kills the connection, let alone the service.
+
+Ops:
+
+``ping``
+    Liveness + service config echo.
+``open``
+    Create a tenant session (``task``, ``n``, optional ``edges``,
+    ``backend``, ``seed``, ``resolve_fraction``, ``verify``) and run the
+    initial solve.  Idempotent: re-opening an existing (e.g. restored)
+    tenant returns its status with ``existing: true`` so a reconnecting
+    client learns the cursor to resume from.
+``ingest``
+    Offer one :class:`~repro.stream.updates.EdgeBatch` (wire schema v1,
+    same JSONL dict as the batch CLI) with an optional client ``seq``.
+    The response's ``outcome`` is ``queued``/``coalesced``/``shed``/
+    ``duplicate``; ``shed`` sets ``retry: true`` and consumes nothing.
+    With ``sync: true`` the queue is drained inline and the response
+    carries the resulting epoch record.
+``query``
+    ``what`` ∈ ``solution`` | ``quality`` | ``certificate`` | ``epochs``
+    (optionally ``last: N``) | ``status``.
+``flush``
+    Drain the tenant's queue now.
+``snapshot``
+    Force a snapshot of one tenant (or all when ``tenant`` is omitted).
+``report``
+    The full :class:`~repro.serve.report.ServeReport`.
+``shutdown``
+    Snapshot every tenant, then stop the service.
+
+Epoch repair runs on the event loop (it is pure CPU work on in-process
+state, and running it anywhere else would race the sessions); the
+per-tenant worker yields between epochs so ingest keeps flowing and the
+queue/coalescing machinery absorbs bursts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.graph.graph import Graph
+from repro.serve.report import SERVE_SCHEMA_VERSION, ServeReport
+from repro.serve.session import (
+    DEFAULT_MAX_PENDING_EDITS,
+    DEFAULT_MAX_QUEUE,
+    SHED,
+    TenantSession,
+)
+from repro.serve.snapshot import (
+    list_snapshots,
+    read_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.stream.updates import EdgeBatch
+
+#: Ingest lines can carry a few hundred thousand edits; keep headroom.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Service-level knobs (per-tenant knobs ride on ``open``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    snapshot_dir: Optional[str] = None
+    snapshot_every: int = 0
+    max_queue: int = DEFAULT_MAX_QUEUE
+    max_pending_edits: int = DEFAULT_MAX_PENDING_EDITS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "snapshot_dir": self.snapshot_dir,
+            "snapshot_every": self.snapshot_every,
+            "max_queue": self.max_queue,
+            "max_pending_edits": self.max_pending_edits,
+        }
+
+
+@dataclass
+class _Tenant:
+    session: TenantSession
+    wakeup: asyncio.Event = field(default_factory=asyncio.Event)
+    worker: Optional[asyncio.Task] = None
+
+
+class ServeService:
+    """A multi-tenant maintained-solution server over ``repro.stream``."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self._tenants: Dict[str, _Tenant] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    def restore_tenants(self) -> int:
+        """Load every snapshot under ``snapshot_dir``; returns the count."""
+        directory = self.config.snapshot_dir
+        if not directory:
+            return 0
+        restored = 0
+        for name in list_snapshots(directory):
+            payload = read_snapshot(snapshot_path(directory, name))
+            session = TenantSession.restore(payload)
+            self._tenants[session.name] = _Tenant(session=session)
+            restored += 1
+        return restored
+
+    async def start(self) -> None:
+        """Restore snapshots, bind the socket, start tenant workers."""
+        self.restore_tenants()
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        for tenant in self._tenants.values():
+            self._start_worker(tenant)
+
+    async def serve_until_stopped(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._stopping.wait()
+        for tenant in self._tenants.values():
+            if tenant.worker is not None:
+                tenant.wakeup.set()
+                await tenant.worker
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_until_stopped()
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+    # -- workers ------------------------------------------------------------
+
+    def _start_worker(self, tenant: _Tenant) -> None:
+        tenant.worker = asyncio.get_running_loop().create_task(
+            self._worker(tenant)
+        )
+
+    async def _worker(self, tenant: _Tenant) -> None:
+        """Drain one tenant's queue, one epoch per loop iteration."""
+        session = tenant.session
+        while True:
+            item = session.pop_next()
+            if item is None:
+                if self._stopping.is_set():
+                    return
+                tenant.wakeup.clear()
+                await tenant.wakeup.wait()
+                continue
+            session.process(*item)
+            self._maybe_snapshot(session)
+            # One epoch per scheduling slot: let ingest interleave.
+            await asyncio.sleep(0)
+
+    # -- persistence --------------------------------------------------------
+
+    def _snapshot(self, session: TenantSession) -> Optional[str]:
+        directory = self.config.snapshot_dir
+        if not directory:
+            return None
+        path = snapshot_path(directory, session.name)
+        write_snapshot(path, session.snapshot_payload())
+        session.counters["snapshots"] += 1
+        return path
+
+    def _maybe_snapshot(self, session: TenantSession) -> None:
+        every = self.config.snapshot_every
+        if (
+            self.config.snapshot_dir
+            and every > 0
+            and session.epochs_processed % every == 0
+        ):
+            self._snapshot(session)
+
+    def snapshot_all(self) -> int:
+        """Snapshot every tenant now; returns how many were written."""
+        written = 0
+        for tenant in self._tenants.values():
+            if self._snapshot(tenant.session) is not None:
+                written += 1
+        return written
+
+    # -- protocol ------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                ) as exc:
+                    response = {"ok": False, "error": f"read error: {exc}"}
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = self._dispatch(text)
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode() + b"\n"
+                )
+                await writer.drain()
+                if response.get("stopping"):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, text: str) -> Dict[str, Any]:
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"malformed JSON request: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if op is None or handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(request)
+        except (KeyError, ValueError, TypeError, RuntimeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _session(self, request: Dict[str, Any]) -> _Tenant:
+        name = request.get("tenant")
+        if not isinstance(name, str):
+            raise ValueError("request is missing a 'tenant' string")
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ValueError(f"unknown tenant {name!r}; open it first") from None
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "service": "repro.serve",
+            "schema": SERVE_SCHEMA_VERSION,
+            "tenants": sorted(self._tenants),
+            "config": self.config.to_dict(),
+        }
+
+    def _op_open(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request.get("tenant")
+        if not isinstance(name, str):
+            raise ValueError("open requires a 'tenant' string")
+        existing = self._tenants.get(name)
+        if existing is not None:
+            session = existing.session
+            task = request.get("task")
+            if task is not None and task != session.task:
+                raise ValueError(
+                    f"tenant {name!r} already serves task "
+                    f"{session.task!r}, not {task!r}"
+                )
+            if existing.worker is None:
+                self._start_worker(existing)
+            return {"ok": True, "existing": True, "status": session.status()}
+        task = request.get("task")
+        if not isinstance(task, str):
+            raise ValueError("open requires a 'task' string")
+        n = int(request.get("n", 0))
+        edges = [
+            (int(u), int(v)) for u, v in request.get("edges", [])
+        ]
+        session = TenantSession(
+            name,
+            task,
+            Graph(n, edges),
+            backend=request.get("backend", "auto"),
+            seed=request.get("seed"),
+            resolve_fraction=float(request.get("resolve_fraction", 0.25)),
+            verify=bool(request.get("verify", False)),
+            max_queue=int(request.get("max_queue", self.config.max_queue)),
+            max_pending_edits=int(
+                request.get(
+                    "max_pending_edits", self.config.max_pending_edits
+                )
+            ),
+        )
+        initial = session.initialize()
+        tenant = _Tenant(session=session)
+        self._tenants[name] = tenant
+        self._start_worker(tenant)
+        self._maybe_snapshot(session)
+        return {
+            "ok": True,
+            "existing": False,
+            "initial": initial,
+            "status": session.status(),
+        }
+
+    def _op_ingest(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = self._session(request)
+        session = tenant.session
+        batch = EdgeBatch.from_dict(request["batch"])
+        seq = request.get("seq")
+        if seq is not None:
+            seq = int(seq)
+        outcome, depth = session.offer(batch, seq)
+        response: Dict[str, Any] = {
+            "ok": True,
+            "outcome": outcome,
+            "queue_depth": depth,
+        }
+        if outcome == SHED:
+            response["retry"] = True
+            return response
+        if request.get("sync"):
+            session.drain()
+            self._maybe_snapshot(session)
+            if session.records:
+                response["record"] = session.records[-1].to_dict()
+            response["epochs"] = session.epochs_processed
+        else:
+            tenant.wakeup.set()
+        return response
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(request).session
+        what = request.get("what", "status")
+        if what == "solution":
+            return {"ok": True, "solution": session.maintainer.solution()}
+        if what == "quality":
+            return {"ok": True, "quality": session.quality()}
+        if what == "certificate":
+            return {"ok": True, "certificate": session.certificate()}
+        if what == "epochs":
+            records = session.records
+            last = request.get("last")
+            if last is not None:
+                records = records[-int(last):]
+            return {
+                "ok": True,
+                "epochs": [record.to_dict() for record in records],
+                "total": session.epochs_processed,
+            }
+        if what == "status":
+            return {"ok": True, "status": session.status()}
+        raise ValueError(
+            f"unknown query {what!r}; use solution|quality|certificate"
+            "|epochs|status"
+        )
+
+    def _op_flush(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(request).session
+        processed = session.drain()
+        self._maybe_snapshot(session)
+        return {"ok": True, "processed": processed, "status": session.status()}
+
+    def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.config.snapshot_dir:
+            raise RuntimeError("service has no --snapshot-dir configured")
+        if request.get("tenant") is None:
+            return {"ok": True, "written": self.snapshot_all()}
+        session = self._session(request).session
+        session.drain()
+        path = self._snapshot(session)
+        return {"ok": True, "written": 1, "path": path}
+
+    def _op_report(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        report = ServeReport(
+            tenants=[
+                tenant.session.report()
+                for _, tenant in sorted(self._tenants.items())
+            ],
+            config=self.config.to_dict(),
+        )
+        return {"ok": True, "report": report.to_dict()}
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        for tenant in self._tenants.values():
+            tenant.session.drain()
+        written = self.snapshot_all() if self.config.snapshot_dir else 0
+        self.request_stop()
+        return {"ok": True, "snapshots": written, "stopping": True}
+
+
+async def serve(config: Optional[ServeConfig] = None) -> None:
+    """Run a service until a client sends ``shutdown`` (or cancellation)."""
+    await ServeService(config).run()

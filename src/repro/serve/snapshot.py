@@ -1,0 +1,94 @@
+"""Atomic tenant snapshots: the crash-safety core of ``repro.serve``.
+
+A snapshot is one JSON document per tenant holding everything a restore
+needs to continue the stream *byte-identically*:
+
+* the compacted graph (vertex count + canonical edge array of the
+  current CSR — rebuilding a CSR from it reproduces the exact same
+  arrays, because CSR layout is canonical);
+* the maintainer state (:meth:`repro.stream.maintain.Maintainer.state_dict`
+  — solution arrays and, for the fractional task, the exact incremental
+  loads, so floating-point history survives);
+* the epoch cursor (``seq`` of the last processed batch) and the full
+  epoch record log, so a resumed run's report covers the whole stream;
+* the session config (task, backend, seed, knobs).
+
+Writes are atomic by construction: the document lands in a temp file in
+the *same directory*, is flushed and fsynced, then ``os.replace``-d over
+the target — a reader (or a restart) sees either the previous complete
+snapshot or the new complete snapshot, never a torn one, no matter when
+the writer was ``kill -9``-ed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List
+
+SNAPSHOT_SCHEMA_VERSION = 1
+_SUPPORTED_SNAPSHOT_SCHEMAS = (1,)
+
+SNAPSHOT_SUFFIX = ".snapshot.json"
+
+
+def snapshot_path(directory: Any, tenant: str) -> str:
+    """Where ``tenant``'s snapshot lives under ``directory``."""
+    return os.path.join(os.fspath(directory), f"{tenant}{SNAPSHOT_SUFFIX}")
+
+
+def list_snapshots(directory: Any) -> List[str]:
+    """Tenant names with a snapshot in ``directory`` (sorted)."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        name[: -len(SNAPSHOT_SUFFIX)]
+        for name in os.listdir(directory)
+        if name.endswith(SNAPSHOT_SUFFIX)
+    )
+
+
+def write_snapshot(path: Any, payload: Dict[str, Any]) -> None:
+    """Atomically persist ``payload`` as JSON at ``path``.
+
+    Temp-file + fsync + ``os.replace`` in the destination directory: a
+    crash at any instant leaves either the old snapshot or the new one.
+    """
+    path = os.fspath(path)
+    if payload.get("schema") not in _SUPPORTED_SNAPSHOT_SCHEMAS:
+        raise ValueError(
+            f"snapshot payload must carry schema "
+            f"{_SUPPORTED_SNAPSHOT_SCHEMAS}, got {payload.get('schema')!r}"
+        )
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: Any) -> Dict[str, Any]:
+    """Load a snapshot document; rejects unknown schema versions."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    schema = payload.get("schema")
+    if schema not in _SUPPORTED_SNAPSHOT_SCHEMAS:
+        raise ValueError(
+            f"unsupported snapshot schema version {schema!r}; "
+            f"supported: {_SUPPORTED_SNAPSHOT_SCHEMAS}"
+        )
+    return payload

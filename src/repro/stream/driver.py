@@ -206,14 +206,20 @@ class StreamReport:
 
 
 def read_stream_jsonl(path: Any) -> List[StreamReport]:
-    """Load every stream report from a JSONL file."""
-    reports = []
+    """Load every stream report from a JSONL file.
+
+    Crash-tolerant: a truncated final line (a writer killed mid-append)
+    is skipped with a :class:`~repro.utils.jsonl.TruncatedJSONLWarning`
+    and every intact report is returned; a record failing to parse
+    *mid-file* raises a line-numbered
+    :class:`~repro.utils.jsonl.JSONLCorruptionError`.
+    """
+    from repro.utils.jsonl import parse_jsonl_lines
+
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                reports.append(StreamReport.from_json(line))
-    return reports
+        return list(
+            parse_jsonl_lines(stream, StreamReport.from_json, source=path)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -221,8 +227,12 @@ def read_stream_jsonl(path: Any) -> List[StreamReport]:
 # ---------------------------------------------------------------------------
 
 
-def _certify_epoch(task: str, graph: Graph, maintainer: Maintainer) -> Dict[str, Any]:
-    """Per-epoch certificate from the repro.verify checkers."""
+def certify_epoch(task: str, graph: Graph, maintainer: Maintainer) -> Dict[str, Any]:
+    """Per-epoch certificate from the repro.verify checkers.
+
+    Public because the serve layer certifies the same way per tenant
+    epoch; the dict is the serialized :class:`repro.verify.Certificate`.
+    """
     from repro.verify import Certificate, certify_solution
 
     certificate = Certificate()
@@ -334,7 +344,7 @@ def solve_stream(
         if verify or (differential_every and index % differential_every == 0):
             current = maintainer.graph.to_graph()
             if verify:
-                verification = _certify_epoch(task, current, maintainer)
+                verification = certify_epoch(task, current, maintainer)
             if differential_every and index % differential_every == 0:
                 ratio, within = _differential_check(
                     task, current, maintainer, backend, seed

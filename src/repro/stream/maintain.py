@@ -249,6 +249,48 @@ class Maintainer:
         """The maintained solution in the canonical report shape."""
         raise NotImplementedError
 
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the maintained state (see serve/snapshot).
+
+        Together with the compacted graph this is everything a restore
+        needs to continue the stream *byte-identically*: repair and
+        fallback re-solves are pure functions of (graph, state, seed), so
+        a restored maintainer converges to the same certified solution an
+        uninterrupted run reaches.
+        """
+        return {
+            "task": self.TASK,
+            "steps": self._steps,
+            "initialized": self._initialized,
+            "epochs_repaired": self.epochs_repaired,
+            "epochs_resolved": self.epochs_resolved,
+            "state": self._state_payload(),
+        }
+
+    def load_state(self, payload: Dict[str, Any]) -> None:
+        """Restore from :meth:`state_dict` output (same task required)."""
+        if payload.get("task") != self.TASK:
+            raise ValueError(
+                f"state is for task {payload.get('task')!r}, "
+                f"this maintainer is {self.TASK!r}"
+            )
+        self._grow_state(self.graph.num_vertices)
+        self._steps = int(payload["steps"])
+        self._initialized = bool(payload["initialized"])
+        self.epochs_repaired = int(payload["epochs_repaired"])
+        self.epochs_resolved = int(payload["epochs_resolved"])
+        self._load_payload(payload["state"])
+
+    def _state_payload(self) -> Dict[str, Any]:
+        """Per-task JSON-ready solution state."""
+        raise NotImplementedError
+
+    def _load_payload(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`_state_payload`."""
+        raise NotImplementedError
+
 
 # ---------------------------------------------------------------------------
 # MIS
@@ -341,6 +383,15 @@ class MISMaintainer(Maintainer):
 
     def solution(self) -> List[int]:
         return [int(v) for v in np.flatnonzero(self.in_mis)]
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {"in_mis": self.solution()}
+
+    def _load_payload(self, state: Dict[str, Any]) -> None:
+        self.in_mis[:] = False
+        members = np.asarray(state["in_mis"], dtype=np.int64)
+        if len(members):
+            self.in_mis[members] = True
 
 
 # ---------------------------------------------------------------------------
@@ -477,6 +528,18 @@ class MatchingMaintainer(Maintainer):
     def solution(self) -> List[List[int]]:
         return [[u, v] for u, v in self.matched_edges()]
 
+    def _state_payload(self) -> Dict[str, Any]:
+        # matched_edges(), not solution(): VertexCoverMaintainer inherits
+        # this payload but overrides solution() to a flat vertex list,
+        # and the restorable state is the matching structure either way.
+        return {"pairs": [[u, v] for u, v in self.matched_edges()]}
+
+    def _load_payload(self, state: Dict[str, Any]) -> None:
+        self.match[:] = NO_MATCH
+        for u, v in state["pairs"]:
+            self.match[int(u)] = int(v)
+            self.match[int(v)] = int(u)
+
 
 class VertexCoverMaintainer(MatchingMaintainer):
     """Cover = endpoints of the incremental maximal matching (2-approx).
@@ -604,11 +667,40 @@ class FractionalMatchingMaintainer(Maintainer):
         }
 
     def total_weight(self) -> float:
-        """Total fractional weight ``W``."""
-        return float(sum(self.weights.values()))
+        """Total fractional weight ``W``.
+
+        Summed in canonical edge order, not dict insertion order: a
+        session restored from a snapshot rebuilds ``weights`` sorted,
+        and float addition does not commute across orderings, so an
+        insertion-order sum could drift from the pre-crash value by an
+        ulp and break byte-identical resume.
+        """
+        return float(sum(x for _, x in sorted(self.weights.items())))
 
     def size(self) -> int:
         return len(self.weights)
+
+    def _state_payload(self) -> Dict[str, Any]:
+        # Loads are stored verbatim, not recomputed from the weights on
+        # restore: they were accumulated incrementally (+=, clamped at 0)
+        # and a re-summation could differ in the last float bit, breaking
+        # the byte-identical-resume guarantee.  JSON round-trips floats
+        # exactly (repr shortest round-trip), so both survive as-is.
+        return {
+            "weights": [
+                [int(u), int(v), float(x)]
+                for (u, v), x in sorted(self.weights.items())
+            ],
+            "loads": [float(load) for load in self.loads],
+        }
+
+    def _load_payload(self, state: Dict[str, Any]) -> None:
+        self.weights = {
+            (int(u), int(v)): float(x) for u, v, x in state["weights"]
+        }
+        loads = np.asarray(state["loads"], dtype=np.float64)
+        self.loads = np.zeros(self.graph.num_vertices, dtype=np.float64)
+        self.loads[: len(loads)] = loads
 
     def solution(self) -> List[List[float]]:
         return sorted(

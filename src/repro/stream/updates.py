@@ -181,12 +181,63 @@ def write_batches_jsonl(batches: Iterable[EdgeBatch], path: PathLike) -> None:
 
 
 def read_batches_jsonl(path: PathLike) -> Iterator[EdgeBatch]:
-    """Stream batches back from :func:`write_batches_jsonl` output."""
+    """Stream batches back from :func:`write_batches_jsonl` output.
+
+    Crash-tolerant like the report readers: a truncated final line (a
+    recorder killed mid-append) is skipped with a warning, mid-file
+    corruption raises with the line number.
+    """
+    from repro.utils.jsonl import parse_jsonl_lines
+
     with open_text(path, "r") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                yield EdgeBatch.from_dict(json.loads(line))
+        yield from parse_jsonl_lines(
+            stream,
+            lambda line: EdgeBatch.from_dict(json.loads(line)),
+            source=path,
+        )
+
+
+def coalesce_batches(batches: Sequence[EdgeBatch]) -> EdgeBatch:
+    """Fold a batch sequence into one equivalent batch (epoch batching).
+
+    The merged batch, applied once, produces exactly the graph the
+    sequence produces applied in order — the algebra the serve layer's
+    backpressure relies on.  With per-batch semantics "deletions before
+    insertions", the last operation touching an edge wins:
+
+    * an edge inserted by a later batch and not deleted afterwards ends
+      present, so it lands in the merged insertions;
+    * an edge whose last touch is a deletion lands in the merged
+      deletions (and is excluded from the insertions).
+
+    ``new_vertices`` sums (vertex ids are append-only, so growing all at
+    once before the edits reaches the same id space); the timestamp is
+    the last batch's.  Raises on an empty sequence.
+    """
+    if not batches:
+        raise ValueError("cannot coalesce an empty batch sequence")
+    inserted: set = set()
+    deleted: set = set()
+    new_vertices = 0
+    for batch in batches:
+        del_keys = set(encode_edges(batch.deletions).tolist())
+        ins_keys = set(encode_edges(batch.insertions).tolist())
+        # Within one batch, deletions apply first.
+        inserted -= del_keys
+        deleted |= del_keys
+        inserted |= ins_keys
+        deleted -= ins_keys
+        new_vertices += batch.new_vertices
+    return EdgeBatch.make(
+        insertions=decode_keys(
+            np.fromiter(inserted, dtype=np.int64, count=len(inserted))
+        ),
+        deletions=decode_keys(
+            np.fromiter(deleted, dtype=np.int64, count=len(deleted))
+        ),
+        new_vertices=new_vertices,
+        timestamp=batches[-1].timestamp,
+    )
 
 
 # ---------------------------------------------------------------------------

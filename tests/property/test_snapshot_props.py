@@ -1,0 +1,101 @@
+"""Property tests for the serve snapshot/restore crash contract.
+
+The invariant under test: snapshotting a :class:`TenantSession` at *any*
+epoch boundary and restoring from the JSON round-trip, then finishing the
+stream, must land on exactly the state of a session that processed the
+whole stream uninterrupted — same solution, same per-epoch certificates,
+same graph, same cursor.  Adversarial batch sequences (deletes of absent
+edges, vertex growth, empty batches) come from the shared
+:func:`~tests.property.strategies.graphs_with_batches` strategy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.session import TenantSession
+from repro.stream.maintain import MAINTAINERS
+
+from .strategies import graphs_with_batches
+
+TASKS = sorted(MAINTAINERS)
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run_session(task, graph, batches, *, snapshot_at=None, seed=3):
+    """Stream the batches through a session; optionally snapshot/restore
+    (through a real JSON round-trip) after ``snapshot_at`` epochs."""
+    session = TenantSession("tenant", task, graph, seed=seed, verify=True)
+    session.initialize()
+    for seq, batch in enumerate(batches, start=1):
+        session.process(batch, seq)
+        if snapshot_at is not None and seq == snapshot_at:
+            payload = json.loads(json.dumps(session.snapshot_payload()))
+            session = TenantSession.restore(payload)
+            # Replay the full prefix: everything at or below the cursor
+            # must dedup, which is what the crash-recovery client does.
+            for replay_seq, replay_batch in enumerate(batches, start=1):
+                if replay_seq <= seq:
+                    assert session.process(replay_batch, replay_seq) is None
+    return session
+
+
+@given(
+    data=graphs_with_batches(max_vertices=20, max_batches=4, max_edits=10),
+    task=st.sampled_from(TASKS),
+    cut=st.integers(min_value=0, max_value=4),
+)
+@_SETTINGS
+def test_restore_at_any_epoch_matches_uninterrupted(data, task, cut):
+    graph, batches = data
+    snapshot_at = min(cut, len(batches))
+    baseline = _run_session(task, graph, batches)
+    restored = _run_session(task, graph, batches, snapshot_at=snapshot_at)
+
+    assert restored.maintainer.solution() == baseline.maintainer.solution()
+    assert restored.quality() == baseline.quality()
+    assert restored.processed_seq == baseline.processed_seq
+    assert [r.verification for r in restored.records] == [
+        r.verification for r in baseline.records
+    ]
+    base_graph = baseline.maintainer.graph.compact()
+    rest_graph = restored.maintainer.graph.compact()
+    assert rest_graph.num_vertices == base_graph.num_vertices
+    assert rest_graph.edge_list() == base_graph.edge_list()
+    assert restored.certificate() == baseline.certificate()
+
+
+@given(
+    data=graphs_with_batches(max_vertices=16, max_batches=3, max_edits=8),
+    task=st.sampled_from(TASKS),
+)
+@_SETTINGS
+def test_snapshot_payload_is_json_stable(data, task):
+    """snapshot(restore(snapshot(s))) == snapshot(s), byte for byte."""
+    graph, batches = data
+    session = TenantSession("tenant", task, graph, seed=11, verify=True)
+    session.initialize()
+    for seq, batch in enumerate(batches, start=1):
+        session.process(batch, seq)
+    payload = session.snapshot_payload()
+    text = json.dumps(payload, sort_keys=True)
+    restored = TenantSession.restore(json.loads(text))
+    second = restored.snapshot_payload()
+    # The restore counter is the one legitimate difference.
+    assert second["counters"].pop("restores") == payload["counters"].get(
+        "restores", 0
+    ) + 1
+    payload["counters"].pop("restores", None)
+    second["counters"]["restores"] = 0
+    payload["counters"]["restores"] = 0
+    assert json.dumps(second, sort_keys=True) == json.dumps(
+        payload, sort_keys=True
+    )

@@ -330,8 +330,14 @@ class TestSolveMany:
         solve_many(specs, jsonl_path=out)
         solve_many(specs, jsonl_path=out)
         assert len(read_jsonl(out)) == 2  # second run replaced the first
+        # append resumes idempotently: already-settled specs are skipped,
+        # not duplicated (see tests/test_batch_resume.py for the full
+        # contract), while genuinely new specs still land.
         solve_many(specs, jsonl_path=out, append=True)
-        assert len(read_jsonl(out)) == 4
+        assert len(read_jsonl(out)) == 2
+        more = sweep(["mis"], [path_graph(6)], backends="greedy", seeds=(3,))
+        solve_many(more, jsonl_path=out, append=True)
+        assert len(read_jsonl(out)) == 3
 
     def test_spec_label_lands_in_extras(self):
         specs = sweep(["mis"], [path_graph(6), cycle_graph(6)], backends="greedy")

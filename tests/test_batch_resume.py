@@ -1,0 +1,114 @@
+"""``solve_many(jsonl_path=..., append=True)`` is an idempotent resume.
+
+Pins the bugfix where appending re-ran (and re-wrote) every spec: now a
+spec whose ``(task, backend, seed, label)`` already settled into the
+existing file is skipped, its prior report adopted, and the skip recorded
+as a ``BatchResult`` incident — so re-running an interrupted sweep only
+pays for what is missing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import read_jsonl, solve_many
+from repro.api.batch import RunSpec, sweep
+from repro.graph.generators import gnp_random_graph
+from repro.utils.jsonl import TruncatedJSONLWarning
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(30, 0.2, seed=4)
+
+
+@pytest.fixture(scope="module")
+def specs(graph):
+    return sweep(["mis", "matching"], [graph], backends="auto", seeds=[0, 1])
+
+
+def test_append_resume_skips_settled_specs(tmp_path, specs):
+    path = tmp_path / "sweep.jsonl"
+    first = solve_many(specs[:2], jsonl_path=path, append=True)
+    assert len(first) == 2 and not first.incidents
+
+    resumed = solve_many(specs, jsonl_path=path, append=True)
+    assert len(resumed) == 4
+    assert resumed.incidents and "skipped 2" in resumed.incidents[0]
+    # The settled specs were NOT re-written: the file gained only the
+    # two missing reports.
+    assert len(read_jsonl(path)) == 4
+
+
+def test_append_resume_is_fully_idempotent(tmp_path, specs):
+    path = tmp_path / "sweep.jsonl"
+    solve_many(specs, jsonl_path=path, append=True)
+    again = solve_many(specs, jsonl_path=path, append=True)
+    assert len(again) == 4
+    assert "skipped 4" in again.incidents[0]
+    assert len(read_jsonl(path)) == 4  # no duplicate lines, ever
+
+
+def test_adopted_reports_match_the_settled_file(tmp_path, specs):
+    path = tmp_path / "sweep.jsonl"
+    first = solve_many(specs, jsonl_path=path, append=True)
+    again = solve_many(specs, jsonl_path=path, append=True)
+    assert [r.to_json() for r in again.reports] == [
+        r.to_json() for r in first.reports
+    ]
+
+
+def test_truncate_mode_still_reruns_everything(tmp_path, specs):
+    path = tmp_path / "sweep.jsonl"
+    solve_many(specs, jsonl_path=path, append=True)
+    fresh = solve_many(specs, jsonl_path=path, append=False)
+    assert not fresh.incidents
+    assert len(read_jsonl(path)) == 4
+
+
+def test_append_to_missing_or_empty_file_runs_everything(tmp_path, specs):
+    path = tmp_path / "new.jsonl"
+    result = solve_many(specs[:2], jsonl_path=path, append=True)
+    assert len(result) == 2 and not result.incidents
+
+    empty = tmp_path / "empty.jsonl"
+    empty.touch()
+    result = solve_many(specs[:2], jsonl_path=empty, append=True)
+    assert len(result) == 2 and not result.incidents
+
+
+def test_resume_across_a_truncated_tail(tmp_path, specs):
+    """The crash scenario end to end: a killed writer's partial last line
+    is dropped, the spec it belonged to re-runs, everything else resumes."""
+    path = tmp_path / "sweep.jsonl"
+    solve_many(specs, jsonl_path=path, append=True)
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    # Chop the final report mid-record, as kill -9 would.
+    path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 3])
+    with pytest.warns(TruncatedJSONLWarning):
+        resumed = solve_many(specs, jsonl_path=path, append=True)
+    assert len(resumed) == 4
+    assert "skipped 3" in resumed.incidents[0]
+    assert len(read_jsonl(path)) == 4
+
+
+def test_auto_backend_specs_resume(tmp_path, graph):
+    """'auto' resolves to a concrete backend in the report; resume must
+    still recognize the spec (via the recorded requested backend)."""
+    spec = RunSpec(task="mis", graph=graph, backend="auto", seed=7)
+    path = tmp_path / "auto.jsonl"
+    solve_many([spec], jsonl_path=path, append=True)
+    again = solve_many([spec], jsonl_path=path, append=True)
+    assert "skipped 1" in again.incidents[0]
+    assert len(read_jsonl(path)) == 1
+
+
+def test_label_distinguishes_otherwise_equal_specs(tmp_path, graph):
+    a = RunSpec(task="mis", graph=graph, seed=0, label="run-a")
+    b = RunSpec(task="mis", graph=graph, seed=0, label="run-b")
+    path = tmp_path / "labels.jsonl"
+    solve_many([a], jsonl_path=path, append=True)
+    result = solve_many([a, b], jsonl_path=path, append=True)
+    assert "skipped 1" in result.incidents[0]
+    assert len(read_jsonl(path)) == 2

@@ -1,0 +1,157 @@
+"""Durability of every JSONL reader: truncated tails vs mid-file corruption.
+
+Pins the bugfix where ``read_jsonl`` / ``read_stream_jsonl`` /
+``read_batches_jsonl`` raised on a truncated trailing line — exactly what
+a ``kill -9``-ed writer leaves — and lost every intact record before it.
+The contract now: a partial *final* line warns
+(:class:`TruncatedJSONLWarning`) and returns the intact prefix; a record
+failing to parse *mid-file* is real corruption and raises
+:class:`JSONLCorruptionError` carrying the 1-based line number.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import read_jsonl, solve
+from repro.graph.generators import gnp_random_graph
+from repro.stream.driver import read_stream_jsonl, solve_stream
+from repro.stream.updates import (
+    churn_batches,
+    read_batches_jsonl,
+    write_batches_jsonl,
+)
+from repro.utils.jsonl import (
+    JSONLCorruptionError,
+    TruncatedJSONLWarning,
+    parse_jsonl_lines,
+)
+
+
+# ---------------------------------------------------------------------------
+# the shared parser
+# ---------------------------------------------------------------------------
+
+
+class TestParseJsonlLines:
+    def test_intact_input_round_trips(self):
+        lines = ['{"a": 1}\n', '{"a": 2}\n']
+        assert list(parse_jsonl_lines(lines, json.loads)) == [
+            {"a": 1},
+            {"a": 2},
+        ]
+
+    def test_blank_lines_are_skipped(self):
+        lines = ['{"a": 1}\n', '\n', '   \n', '{"a": 2}\n']
+        assert len(list(parse_jsonl_lines(lines, json.loads))) == 2
+
+    def test_truncated_tail_warns_and_keeps_prefix(self):
+        lines = ['{"a": 1}\n', '{"a": 2}\n', '{"a": 3, "tru']
+        with pytest.warns(TruncatedJSONLWarning, match="line 3"):
+            rows = list(parse_jsonl_lines(lines, json.loads))
+        assert rows == [{"a": 1}, {"a": 2}]
+
+    def test_midfile_corruption_raises_with_line_number(self):
+        lines = ['{"a": 1}\n', 'garbage{{{\n', '{"a": 3}\n']
+        iterator = parse_jsonl_lines(lines, json.loads)
+        assert next(iterator) == {"a": 1}  # intact prefix still yielded
+        with pytest.raises(JSONLCorruptionError) as excinfo:
+            list(iterator)
+        assert excinfo.value.line_number == 2
+        assert "line 2" in str(excinfo.value)
+
+    def test_corruption_error_chains_the_parse_error(self):
+        lines = ['not json\n', '{"a": 1}\n']
+        with pytest.raises(JSONLCorruptionError) as excinfo:
+            list(parse_jsonl_lines(lines, json.loads))
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
+
+    def test_empty_input_is_empty_without_warning(self, recwarn):
+        assert list(parse_jsonl_lines([], json.loads)) == []
+        assert not [
+            w for w in recwarn if issubclass(w.category, TruncatedJSONLWarning)
+        ]
+
+    def test_single_truncated_line_warns_and_returns_nothing(self):
+        with pytest.warns(TruncatedJSONLWarning):
+            assert list(parse_jsonl_lines(['{"cut'], json.loads)) == []
+
+
+# ---------------------------------------------------------------------------
+# the three production readers
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def report_lines():
+    graph = gnp_random_graph(24, 0.2, seed=3)
+    return [
+        solve("mis", graph, seed=seed).to_json() + "\n" for seed in (0, 1, 2)
+    ]
+
+
+def test_read_jsonl_tolerates_truncated_tail(tmp_path, report_lines):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text("".join(report_lines) + report_lines[0][: len(report_lines[0]) // 2])
+    with pytest.warns(TruncatedJSONLWarning):
+        reports = read_jsonl(path)
+    assert len(reports) == 3
+    assert all(report.task == "mis" for report in reports)
+
+
+def test_read_jsonl_raises_on_midfile_corruption(tmp_path, report_lines):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text(report_lines[0] + "CORRUPT\n" + report_lines[1])
+    with pytest.raises(JSONLCorruptionError) as excinfo:
+        read_jsonl(path)
+    assert excinfo.value.line_number == 2
+
+
+def test_read_jsonl_intact_file_no_warning(tmp_path, report_lines, recwarn):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text("".join(report_lines))
+    assert len(read_jsonl(path)) == 3
+    assert not [
+        w for w in recwarn if issubclass(w.category, TruncatedJSONLWarning)
+    ]
+
+
+def test_read_stream_jsonl_tolerates_truncated_tail(tmp_path):
+    graph = gnp_random_graph(32, 0.2, seed=5)
+    batches = list(churn_batches(graph, epochs=2, churn_fraction=0.05, seed=1))
+    report = solve_stream("mis", graph, batches, seed=0)
+    lines = [report.to_json() + "\n", report.to_json() + "\n"]
+    path = tmp_path / "streams.jsonl"
+    path.write_text("".join(lines) + lines[0][:40])
+    with pytest.warns(TruncatedJSONLWarning):
+        reports = read_stream_jsonl(path)
+    assert len(reports) == 2
+    assert reports[0].to_json() == report.to_json()
+
+    path.write_text(lines[0] + "{broken\n" + lines[1])
+    with pytest.raises(JSONLCorruptionError) as excinfo:
+        read_stream_jsonl(path)
+    assert excinfo.value.line_number == 2
+
+
+def test_read_batches_jsonl_tolerates_truncated_tail(tmp_path):
+    graph = gnp_random_graph(32, 0.2, seed=5)
+    batches = list(churn_batches(graph, epochs=3, churn_fraction=0.05, seed=1))
+    path = tmp_path / "batches.jsonl"
+    write_batches_jsonl(batches, path)
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    path.write_text("".join(lines) + lines[0][: len(lines[0]) // 2])
+    with pytest.warns(TruncatedJSONLWarning):
+        recovered = list(read_batches_jsonl(path))
+    assert len(recovered) == 3
+    assert all(
+        (a.insertions == b.insertions).all() for a, b in zip(recovered, batches)
+    )
+
+    path.write_text(lines[0] + "xx\n" + "".join(lines[1:]))
+    with pytest.raises(JSONLCorruptionError) as excinfo:
+        list(read_batches_jsonl(path))
+    assert excinfo.value.line_number == 2

@@ -1,0 +1,348 @@
+"""Unit tests for ``repro.serve``: coalescing, sessions, snapshots, reports.
+
+The service/protocol layer is covered by ``tests/test_serve_service.py``
+and the crash conformance check (``python -m repro.serve --check``);
+these tests pin the pieces underneath: the batch-coalescing algebra, the
+:class:`TenantSession` queue/backpressure/dedup behavior, atomic
+snapshot files, exact restore, and the ``ServeReport`` schema contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.generators import gnp_random_graph
+from repro.serve import (
+    ServeReport,
+    TenantSession,
+    list_snapshots,
+    read_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.serve.session import COALESCED, DUPLICATE, QUEUED, SHED
+from repro.stream.dynamic import DynamicGraph
+from repro.stream.maintain import MAINTAINERS
+from repro.stream.updates import EdgeBatch, coalesce_batches, make_scenario
+
+
+def _batch(insertions=(), deletions=(), new_vertices=0):
+    return EdgeBatch.make(
+        insertions=np.array(list(insertions), dtype=np.int64).reshape(-1, 2),
+        deletions=np.array(list(deletions), dtype=np.int64).reshape(-1, 2),
+        new_vertices=new_vertices,
+    )
+
+
+# ---------------------------------------------------------------------------
+# coalesce_batches
+# ---------------------------------------------------------------------------
+
+
+class TestCoalesceBatches:
+    def test_insert_then_delete_cancels(self):
+        merged = coalesce_batches(
+            [_batch(insertions=[(0, 1)]), _batch(deletions=[(0, 1)])]
+        )
+        assert merged.insertions.shape == (0, 2)
+        assert merged.deletions.shape == (1, 2)
+
+    def test_delete_then_reinsert_is_insert(self):
+        merged = coalesce_batches(
+            [_batch(deletions=[(0, 1)]), _batch(insertions=[(0, 1)])]
+        )
+        assert merged.insertions.shape == (1, 2)
+        assert merged.deletions.shape == (0, 2)
+
+    def test_vertex_growth_sums(self):
+        merged = coalesce_batches(
+            [_batch(new_vertices=2), _batch(new_vertices=3)]
+        )
+        assert merged.new_vertices == 5
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_batches([])
+
+    def test_equivalent_to_sequential_application(self):
+        """The merged batch, applied once, yields the same compacted CSR
+        as applying the sequence batch by batch."""
+        graph, batches = make_scenario(
+            "churn", n=48, epochs=6, churn_fraction=0.08, seed=9
+        )
+        sequential = DynamicGraph(graph)
+        for batch in batches:
+            sequential.add_vertices(batch.new_vertices)
+            sequential.apply_edges(batch.insertions, batch.deletions)
+        merged = coalesce_batches(batches)
+        merged_graph = DynamicGraph(graph)
+        merged_graph.add_vertices(merged.new_vertices)
+        merged_graph.apply_edges(merged.insertions, merged.deletions)
+        a, b = sequential.compact(), merged_graph.compact()
+        assert a.num_vertices == b.num_vertices
+        assert (a.edge_array() == b.edge_array()).all()
+
+    def test_equivalence_with_growth(self):
+        graph, batches = make_scenario(
+            "growth", n=32, epochs=5, churn_fraction=0.1, seed=4
+        )
+        sequential = DynamicGraph(graph)
+        for batch in batches:
+            sequential.add_vertices(batch.new_vertices)
+            sequential.apply_edges(batch.insertions, batch.deletions)
+        merged = coalesce_batches(batches)
+        merged_graph = DynamicGraph(graph)
+        merged_graph.add_vertices(merged.new_vertices)
+        merged_graph.apply_edges(merged.insertions, merged.deletions)
+        assert (
+            sequential.compact().edge_array()
+            == merged_graph.compact().edge_array()
+        ).all()
+
+
+# ---------------------------------------------------------------------------
+# TenantSession: queueing, backpressure, dedup
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def small_graph():
+    return gnp_random_graph(32, 0.2, seed=6)
+
+
+class TestTenantSession:
+    def test_name_validation(self, small_graph):
+        for bad in ("", "../evil", "a/b", "a b", ".hidden", "x" * 65, 7):
+            with pytest.raises(ValueError):
+                TenantSession(bad, "mis", small_graph)
+        TenantSession("ok-name.v2_3", "mis", small_graph)  # no raise
+
+    def test_process_requires_initialize(self, small_graph):
+        session = TenantSession("t", "mis", small_graph)
+        with pytest.raises(RuntimeError):
+            session.process(_batch(insertions=[(0, 1)]))
+
+    def test_offer_coalesces_at_max_queue(self, small_graph):
+        session = TenantSession("t", "mis", small_graph, max_queue=3)
+        session.initialize()
+        for seq in range(1, 4):
+            outcome, _ = session.offer(_batch(insertions=[(0, seq)]), seq)
+            assert outcome == QUEUED
+        outcome, depth = session.offer(_batch(insertions=[(0, 9)]), 4)
+        assert outcome == COALESCED
+        assert depth == 2  # merged backlog + the new batch
+        assert session.counters["coalesced"] == 1
+        # Coalescing loses no edits: draining applies all four inserts.
+        session.drain()
+        for v in (1, 2, 3, 9):
+            assert session.maintainer.graph.has_edge(0, v)
+
+    def test_offer_sheds_over_edit_budget(self, small_graph):
+        session = TenantSession(
+            "t", "mis", small_graph, max_queue=2, max_pending_edits=3
+        )
+        session.initialize()
+        session.offer(_batch(insertions=[(0, 1), (0, 2)]), 1)
+        outcome, _ = session.offer(_batch(insertions=[(0, 3), (0, 4)]), 2)
+        assert outcome == SHED
+        assert session.counters["shed"] == 1
+        # The shed batch's seq was not consumed: the retry is accepted
+        # once the queue drains.
+        session.drain()
+        outcome, _ = session.offer(_batch(insertions=[(0, 3), (0, 4)]), 2)
+        assert outcome == QUEUED
+
+    def test_duplicate_seq_acknowledged_not_queued(self, small_graph):
+        session = TenantSession("t", "mis", small_graph)
+        session.initialize()
+        session.offer(_batch(insertions=[(0, 1)]), 5)
+        outcome, depth = session.offer(_batch(insertions=[(0, 2)]), 5)
+        assert outcome == DUPLICATE and depth == 1
+        outcome, _ = session.offer(_batch(insertions=[(0, 2)]), 4)
+        assert outcome == DUPLICATE
+        assert session.counters["duplicates"] == 2
+
+    def test_process_skips_already_processed_seq(self, small_graph):
+        session = TenantSession("t", "mis", small_graph)
+        session.initialize()
+        assert session.process(_batch(insertions=[(0, 1)]), 1) is not None
+        assert session.process(_batch(insertions=[(0, 2)]), 1) is None
+        assert session.epochs_processed == 1
+
+    def test_unsequenced_batches_always_process(self, small_graph):
+        session = TenantSession("t", "mis", small_graph)
+        session.initialize()
+        assert session.process(_batch(insertions=[(0, 1)])) is not None
+        assert session.process(_batch(insertions=[(0, 2)])) is not None
+        assert session.processed_seq is None
+
+    def test_quality_per_task(self, small_graph):
+        for task in MAINTAINERS:
+            session = TenantSession("t", task, small_graph, seed=0)
+            session.initialize()
+            assert session.quality() >= 0.0
+
+    def test_certificate_of_maintained_solution(self, small_graph):
+        session = TenantSession("t", "matching", small_graph, seed=0)
+        session.initialize()
+        session.process(_batch(insertions=[(0, 1)]), 1)
+        certificate = session.certificate()
+        assert certificate["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# snapshots: atomicity + exact restore
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        path = snapshot_path(tmp_path, "t1")
+        payload = {"schema": 1, "tenant": "t1", "data": [1.5, 2.25]}
+        write_snapshot(path, payload)
+        assert read_snapshot(path) == payload
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        write_snapshot(snapshot_path(tmp_path, "t1"), {"schema": 1})
+        assert sorted(os.listdir(tmp_path)) == ["t1.snapshot.json"]
+
+    def test_failed_write_keeps_previous_snapshot(self, tmp_path):
+        path = snapshot_path(tmp_path, "t1")
+        write_snapshot(path, {"schema": 1, "generation": 1})
+        with pytest.raises(TypeError):
+            write_snapshot(path, {"schema": 1, "bad": {1, 2}})  # unserializable
+        assert read_snapshot(path)["generation"] == 1
+        assert sorted(os.listdir(tmp_path)) == ["t1.snapshot.json"]
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = snapshot_path(tmp_path, "t1")
+        with pytest.raises(ValueError):
+            write_snapshot(path, {"schema": 99})
+        write_snapshot(path, {"schema": 1})
+        raw = json.loads(open(path).read())
+        raw["schema"] = 99
+        with open(path, "w") as stream:
+            json.dump(raw, stream)
+        with pytest.raises(ValueError):
+            read_snapshot(path)
+
+    def test_list_snapshots(self, tmp_path):
+        assert list_snapshots(tmp_path / "absent") == []
+        write_snapshot(snapshot_path(tmp_path, "bob"), {"schema": 1})
+        write_snapshot(snapshot_path(tmp_path, "alice"), {"schema": 1})
+        (tmp_path / "notes.txt").write_text("not a snapshot")
+        assert list_snapshots(tmp_path) == ["alice", "bob"]
+
+
+@pytest.mark.parametrize("task", sorted(MAINTAINERS))
+def test_session_snapshot_restore_round_trip(task, tmp_path):
+    """Snapshot -> JSON file -> restore reproduces solution, cursor,
+    records, and counters for every maintainer task."""
+    graph, batches = make_scenario(
+        "churn", n=48, epochs=5, churn_fraction=0.06, seed=13
+    )
+    session = TenantSession("t", task, graph, seed=3, verify=True)
+    session.initialize()
+    for seq, batch in enumerate(batches, start=1):
+        session.process(batch, seq)
+    path = snapshot_path(tmp_path, "t")
+    write_snapshot(path, session.snapshot_payload())
+    restored = TenantSession.restore(read_snapshot(path))
+
+    assert restored.maintainer.solution() == session.maintainer.solution()
+    assert restored.processed_seq == session.processed_seq
+    assert [r.to_dict() for r in restored.records] == [
+        r.to_dict() for r in session.records
+    ]
+    assert restored.counters["restores"] == 1
+    assert restored.quality() == session.quality()
+    # Restored graph is array-identical to the live compacted one.
+    assert (
+        restored.maintainer.graph.compact().edge_array()
+        == session.maintainer.graph.compact().edge_array()
+    ).all()
+    # And it keeps serving: replay is deduped, new batches process.
+    assert restored.process(batches[-1], len(batches)) is None
+    extra = _batch(insertions=[(0, 1)], deletions=[(2, 3)])
+    assert restored.process(extra, len(batches) + 1) is not None
+
+
+def test_restored_session_continues_identically(tmp_path):
+    """The crash-safety core, in-process: snapshot mid-stream, restore,
+    finish — final solution and the post-snapshot certificates match the
+    uninterrupted run exactly."""
+    graph, batches = make_scenario(
+        "churn", n=48, epochs=6, churn_fraction=0.06, seed=21
+    )
+    edges = graph.edge_list()
+    cut = 3
+
+    uninterrupted = TenantSession(
+        "t", "mis", Graph(graph.num_vertices, edges), seed=5, verify=True
+    )
+    uninterrupted.initialize()
+    for seq, batch in enumerate(batches, start=1):
+        uninterrupted.process(batch, seq)
+
+    crashed = TenantSession(
+        "t", "mis", Graph(graph.num_vertices, edges), seed=5, verify=True
+    )
+    crashed.initialize()
+    for seq, batch in enumerate(batches[:cut], start=1):
+        crashed.process(batch, seq)
+    payload = json.loads(json.dumps(crashed.snapshot_payload()))
+    restored = TenantSession.restore(payload)
+    for seq, batch in enumerate(batches, start=1):  # full replay
+        restored.process(batch, seq)
+
+    assert restored.maintainer.solution() == uninterrupted.maintainer.solution()
+    assert [r.verification for r in restored.records] == [
+        r.verification for r in uninterrupted.records
+    ]
+
+
+# ---------------------------------------------------------------------------
+# ServeReport
+# ---------------------------------------------------------------------------
+
+
+class TestServeReport:
+    def _report(self, small_graph=None):
+        graph = small_graph or gnp_random_graph(24, 0.2, seed=1)
+        session = TenantSession("t1", "mis", graph, seed=0, verify=True)
+        session.initialize()
+        session.process(_batch(insertions=[(0, 1)]), 1)
+        return ServeReport(tenants=[session.report()], config={"port": 0})
+
+    def test_json_round_trip(self):
+        report = self._report()
+        clone = ServeReport.from_json(report.to_json())
+        assert clone.to_json() == report.to_json()
+        assert clone.ok is report.ok is True
+
+    def test_tenant_lookup(self):
+        report = self._report()
+        assert report.tenant("t1").task == "mis"
+        with pytest.raises(KeyError):
+            report.tenant("absent")
+
+    def test_unknown_schema_rejected(self):
+        report = self._report()
+        payload = report.to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError):
+            ServeReport.from_dict(payload)
+        with pytest.raises(ValueError):
+            ServeReport(tenants=[], schema=99)
+
+    def test_summary_row_counters(self):
+        report = self._report()
+        row = report.tenants[0].summary_row()
+        assert row["epochs"] == 1 and row["ok"] is True
+        for key in ("coalesced", "shed", "snapshots", "restores"):
+            assert key in row

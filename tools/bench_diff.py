@@ -35,7 +35,14 @@ SUITE_LAYOUT: Dict[str, Tuple[Tuple[str, ...], str]] = {
     # mode is "local" or "parallel-wK" (K = worker count); see
     # tools/run_scaling.py.
     "dist": (("task", "family", "n", "mode"), "seconds"),
+    # op is "update" or "query"; p99 latency under concurrent tenants —
+    # see benchmarks/perf/bench_serve.py.
+    "serve": (("task", "family", "n", "op"), "p99_ms"),
 }
+
+
+def _unit(time_field: str) -> str:
+    return "ms" if time_field.endswith("_ms") else "s"
 
 
 def load(path: str) -> Dict[str, Any]:
@@ -69,6 +76,8 @@ def diff(
     normalize: Optional[str],
     min_seconds: float = 0.0,
     require_cells: Tuple[str, ...] = (),
+    unit: str = "s",
+    environments: Tuple[Dict[str, Any], Dict[str, Any]] = ({}, {}),
 ) -> int:
     # A required cell missing from EITHER run is a hard failure: a CI
     # smoke rung that silently stopped producing its gated cell would
@@ -99,13 +108,24 @@ def diff(
         scale_old = baseline[normalize]
         scale_new = current[normalize]
     width = max(len(key) for key in shared)
+    # Machine provenance up front: a "regression" whose two columns came
+    # from hosts with different core counts is often not a regression
+    # (and a "speedup" may be one machine being faster).
+    env_old, env_new = environments
+    print(
+        f"environment.cpu_count: baseline={env_old.get('cpu_count', '?')} "
+        f"current={env_new.get('cpu_count', '?')}"
+    )
     print(f"{'cell':<{width}}  {'baseline':>10}  {'current':>10}  {'speedup':>8}")
     failures: List[str] = []
     for key in shared:
         old = baseline[key]
         new = current[key]
         speedup = old / new if new > 0 else float("inf")
-        print(f"{key:<{width}}  {old:>9.3f}s  {new:>9.3f}s  x{speedup:>7.2f}")
+        print(
+            f"{key:<{width}}  {old:>9.3f}{unit}  {new:>9.3f}{unit}  "
+            f"x{speedup:>7.2f}"
+        )
         if fail_over is not None:
             if old < min_seconds and new < min_seconds:
                 continue  # sub-noise-floor cell: too small to gate on
@@ -113,8 +133,8 @@ def diff(
             new_norm = new / scale_new if scale_new > 0 else new
             if new_norm > fail_over * old_norm:
                 failures.append(
-                    f"{key}: {new:.3f}s is more than {fail_over}x the baseline "
-                    f"{old:.3f}s"
+                    f"{key}: {new:.3f}{unit} is more than {fail_over}x the "
+                    f"baseline {old:.3f}{unit}"
                     + (" (after normalization)" if normalize else "")
                 )
     missing = sorted(set(baseline) - set(current))
@@ -171,6 +191,7 @@ def main(argv=None) -> int:
     current = load(args.current)
     if layout_for(baseline) != layout_for(current):
         raise SystemExit("the two files are from different suites")
+    _, time_field = layout_for(baseline)
     return diff(
         cells(baseline),
         cells(current),
@@ -178,6 +199,11 @@ def main(argv=None) -> int:
         args.normalize,
         args.min_seconds,
         tuple(args.require_cells),
+        unit=_unit(time_field),
+        environments=(
+            baseline.get("environment", {}),
+            current.get("environment", {}),
+        ),
     )
 
 

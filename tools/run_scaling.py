@@ -161,7 +161,28 @@ def main(argv=None) -> int:
         help="worker counts to time (each also parity-checked vs local)",
     )
     parser.add_argument("--out", required=True, help="output BENCH JSON path")
+    parser.add_argument(
+        "--allow-oversubscribed",
+        action="store_true",
+        help="proceed even when a worker count exceeds the host's CPUs "
+        "(the timings then measure scheduling contention, not scaling)",
+    )
     args = parser.parse_args(argv)
+
+    # Refuse to produce a "scaling" table that is actually a contention
+    # table: with more workers than CPUs, parallel-wK cells time the
+    # scheduler, and committing them as scaling evidence is worse than
+    # committing nothing.  Checked before any cell runs so the refusal
+    # costs nothing.
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = [w for w in args.workers if w > cpu_count]
+    if oversubscribed and not args.allow_oversubscribed:
+        parser.error(
+            f"worker count(s) {oversubscribed} exceed this host's "
+            f"{cpu_count} CPU(s); scaling conclusions would be invalid. "
+            "Drop --workers values or pass --allow-oversubscribed to "
+            "measure contention deliberately."
+        )
 
     results: List[Dict[str, Any]] = []
     for case in RUNGS[args.rung]:
