@@ -74,6 +74,26 @@ def repeats_for(n: int) -> int:
     return 2
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident-set size (self + reaped children), in bytes.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark — suites that
+    need a per-cell reading (the out-of-core rung, whose whole point is
+    a bounded-RSS claim) must run each cell in its own subprocess and
+    report that child's value.  Matches the normalization of
+    ``RunReport.peak_rss_bytes``: macOS reports bytes, the other POSIX
+    platforms kibibytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak += resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(peak * unit)
+
+
 def environment_stamp() -> Dict[str, Any]:
     """Provenance recorded into every BENCH_*.json."""
     import numpy

@@ -28,6 +28,7 @@ from repro.api.report import (
     RunReport,
     canonical_solution,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.graph.properties import (
     is_matching,
@@ -38,7 +39,9 @@ from repro.graph.properties import (
 from repro.graph.weighted import WeightedGraph
 from repro.utils.trace import Trace
 
-GraphLike = Union[Graph, WeightedGraph]
+GraphLike = Union[Graph, WeightedGraph, CSRGraph]
+
+_RNG_MODES = ("sha", "counter")
 
 
 def solve(
@@ -49,6 +52,7 @@ def solve(
     config: Any = None,
     seed: Optional[int] = None,
     budget: Optional[float] = None,
+    rng: Optional[str] = None,
     verify: Any = False,
     trace: Optional[Trace] = None,
     executor: Any = None,
@@ -85,6 +89,15 @@ def solve(
         Backends without a memory model (``greedy``, ``pregel``
         baselines, exact solvers) ignore it, so sweep-wide budgets work
         with ``backends="all"``.
+    rng:
+        Randomness mode override: ``"sha"`` (the byte-pinned default) or
+        ``"counter"`` (the vectorized order-free generator behind the
+        out-of-core rung — deterministic per seed, not byte-identical to
+        sha; see OUT_OF_CORE.md).  Mirrors ``budget`` semantics:
+        backends with no config (``greedy``, ``pregel`` baselines, exact
+        solvers) ignore it so sweep-wide settings work, a typed config
+        without an ``rng`` field raises, and the resolved mode is
+        stamped into ``report.config``.
     verify:
         ``False`` (default) skips verification; ``True`` runs the
         :mod:`repro.verify` certificate under the default
@@ -146,7 +159,7 @@ def solve(
             f"support an executor (only the MPC-backend solvers do)"
         )
     prepared = _prepare_graph(entry, graph)
-    resolved_config = _resolve_config(entry, config, budget)
+    resolved_config = _resolve_config(entry, config, budget, rng)
 
     solver_kwargs: Dict[str, Any] = {}
     if dist_executor is not None:
@@ -261,10 +274,17 @@ def _prepare_graph(entry: SolverEntry, graph: GraphLike) -> GraphLike:
     return graph
 
 
-def _resolve_config(entry: SolverEntry, config: Any, budget: Optional[float]) -> Any:
+def _resolve_config(
+    entry: SolverEntry,
+    config: Any,
+    budget: Optional[float],
+    rng: Optional[str] = None,
+) -> Any:
     """Normalize ``config`` to the backend's config dataclass (or None)."""
     if budget is not None and budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
+    if rng is not None and rng not in _RNG_MODES:
+        raise ValueError(f"rng must be one of {_RNG_MODES}, got {rng!r}")
     if entry.config_factory is None:
         # Loose overrides (dicts, budget) are sweep-wide hints: a backend
         # with no knobs ignores them so ``backends="all"`` sweeps work.  A
@@ -286,6 +306,12 @@ def _resolve_config(entry: SolverEntry, config: Any, budget: Optional[float]) ->
                 f"backend {entry.backend!r} config has no memory budget to override"
             )
         resolved = dataclasses.replace(resolved, memory_factor=float(budget))
+    if rng is not None:
+        if not hasattr(resolved, "rng"):
+            raise TypeError(
+                f"backend {entry.backend!r} config has no rng mode to override"
+            )
+        resolved = dataclasses.replace(resolved, rng=rng)
     return resolved
 
 
@@ -301,13 +327,16 @@ def _config_snapshot(config: Any) -> Dict[str, Any]:
 def _quality_metrics(
     entry: SolverEntry,
     prepared: GraphLike,
-    structure: Graph,
+    structure: Union[Graph, CSRGraph],
     solution: Any,
 ) -> Dict[str, Any]:
     """Ground-truth validity and size/weight metrics for the solution."""
     metrics: Dict[str, Any] = {"size": len(solution)}
     if entry.solution_kind == VERTEX_SET:
-        chosen = set(solution)
+        # CSR validators take any iterable and build a mask — skipping the
+        # Python set matters at the out-of-core scale (an n=10M MIS as a
+        # set of ints costs hundreds of MB).
+        chosen = solution if isinstance(structure, CSRGraph) else set(solution)
         if entry.task == "mis":
             metrics["valid"] = is_maximal_independent_set(structure, chosen)
         else:

@@ -16,6 +16,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 # Solution kinds determine the canonical JSON shape of ``solution``.
 VERTEX_SET = "vertex_set"  # sorted list of ints
 EDGE_SET = "edge_set"  # sorted list of [u, v] pairs, u < v
@@ -36,6 +38,11 @@ _SUPPORTED_SCHEMAS = (1, 2)
 def canonical_solution(kind: str, solution: Any) -> Any:
     """Normalize a solver's raw solution into its canonical JSON shape."""
     if kind == VERTEX_SET:
+        if isinstance(solution, np.ndarray):
+            # Counter-mode solvers return vertex arrays; sort in C and
+            # convert once — per-element ``int(v)`` over 10M numpy scalars
+            # is minutes of pure interpreter overhead.
+            return np.sort(solution.astype(np.int64, copy=False)).tolist()
         return sorted(int(v) for v in solution)
     if kind == EDGE_SET:
         return sorted(

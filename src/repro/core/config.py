@@ -43,6 +43,14 @@ class MISConfig:
         LOCAL process used by the sparsified finish: ``"luby"`` ([Lub86])
         or ``"ghaffari"`` (the desire-level process of [Gha16], closer to
         what [Gha17] compresses).
+    rng:
+        ``"sha"`` (default) draws from the byte-pinned SHA-256 streams;
+        ``"counter"`` uses the vectorized counter-based generator of
+        :mod:`repro.utils.counter_rng` — statistically equivalent (audited
+        by ``repro.verify``) but not byte-identical to the seeded pins.
+        Counter mode also enables the residency-bounded solve path used
+        for out-of-core graphs (see OUT_OF_CORE.md); it requires the
+        ``"luby"`` sparse strategy.
     """
 
     alpha: float = 0.75
@@ -50,6 +58,7 @@ class MISConfig:
     memory_factor: float = 8.0
     luby_rounds_factor: float = 2.0
     sparse_strategy: str = "luby"
+    rng: str = "sha"
 
     def __post_init__(self) -> None:
         require(0.0 < self.alpha < 1.0, f"alpha must be in (0,1), got {self.alpha}")
@@ -62,6 +71,14 @@ class MISConfig:
         require(
             self.sparse_strategy in ("luby", "ghaffari"),
             f"sparse_strategy must be 'luby' or 'ghaffari', got {self.sparse_strategy!r}",
+        )
+        require(
+            self.rng in ("sha", "counter"),
+            f"rng must be 'sha' or 'counter', got {self.rng!r}",
+        )
+        require(
+            not (self.rng == "counter" and self.sparse_strategy == "ghaffari"),
+            "rng='counter' supports only sparse_strategy='luby'",
         )
 
     def sparse_degree_threshold(self, n: int) -> int:
@@ -93,6 +110,11 @@ class MatchingConfig:
     threshold_low / threshold_high:
         The random freezing threshold interval; the paper uses
         ``[1-4ε, 1-2ε]``.
+    rng:
+        ``"sha"`` (default) keeps the byte-pinned SHA-256 draws;
+        ``"counter"`` switches thresholds and machine assignment to the
+        vectorized counter-based generator (statistically equivalent,
+        not byte-identical — see OUT_OF_CORE.md).
     """
 
     epsilon: float = 0.1
@@ -100,6 +122,7 @@ class MatchingConfig:
     degree_floor_exponent: float = 2.0
     memory_factor: float = 8.0
     max_direct_iterations: int = 10_000
+    rng: str = "sha"
 
     def __post_init__(self) -> None:
         require_epsilon(self.epsilon)
@@ -109,6 +132,10 @@ class MatchingConfig:
         )
         require(self.memory_factor > 0, "memory_factor must be positive")
         require(self.max_direct_iterations >= 1, "max_direct_iterations must be >= 1")
+        require(
+            self.rng in ("sha", "counter"),
+            f"rng must be 'sha' or 'counter', got {self.rng!r}",
+        )
 
     @property
     def threshold_low(self) -> float:

@@ -30,24 +30,32 @@ through :meth:`ThresholdOracle.crosses`, which only materializes the
 (SHA-derived) threshold when the load estimate lands inside the random
 band.  Both changes are output-preserving: the RNG consumption order
 (machine assignment draws) and every freezing comparison are unchanged.
+
+``config.rng == "counter"`` (the out-of-core fast path) swaps the
+per-vertex machine-assignment draws and the threshold oracle onto the
+order-free counter generator (:mod:`repro.utils.counter_rng`) and drops
+the O(n) ``surviving`` Python set in favor of the boolean mask.  Counter
+runs are deterministic per seed but not byte-identical to sha runs; the
+sha path is untouched (same draws, same order, same outputs).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.core.config import MatchingConfig
 from repro.core.fractional import FractionalMatching
 from repro.core.thresholds import ThresholdOracle
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.graph import Edge, Graph
 from repro.mpc.cluster import Message, MPCCluster
 from repro.mpc.spec import ClusterSpec
 from repro.mpc.words import edge_words, id_words
+from repro.utils import counter_rng
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 
@@ -127,7 +135,7 @@ class MatchingMPCResult:
 
 
 def mpc_fractional_matching(
-    graph: Graph,
+    graph: Union[Graph, CSRGraph],
     config: Optional[MatchingConfig] = None,
     seed: SeedLike = None,
     oracle: Optional[ThresholdOracle] = None,
@@ -164,7 +172,10 @@ def mpc_fractional_matching(
 
     if oracle is None:
         oracle = ThresholdOracle(
-            config.threshold_low, config.threshold_high, seed=rng.getrandbits(64)
+            config.threshold_low,
+            config.threshold_high,
+            seed=rng.getrandbits(64),
+            mode=config.rng,
         )
     growth = 1.0 / (1.0 - epsilon)
     w0 = (1.0 - 2.0 * epsilon) / n
@@ -172,14 +183,25 @@ def mpc_fractional_matching(
     spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="sqrt")
     cluster = spec.build_cluster(trace=trace)
 
+    counter_mode = config.rng == "counter"
+    # The machine-assignment key is drawn once up front so per-phase owner
+    # draws are an order-free pure function of (key, phase, vertex).
+    owner_key = (
+        counter_rng.derive_key(rng.getrandbits(64), "matching-owner")
+        if counter_mode
+        else 0
+    )
+
     # One-time edge materialization: every per-phase scan below is a flat
     # pass over these canonical (u < v) endpoint arrays.
-    csr = CSRGraph.from_graph(graph)
+    csr = as_csr(graph)
     edge_array = csr.edge_array()
     eu = np.ascontiguousarray(edge_array[:, 0])
     ev = np.ascontiguousarray(edge_array[:, 1])
 
-    surviving: Set[int] = set(range(n))  # the paper's V'
+    # The paper's V'.  Counter mode keeps only the mask — a 10M-vertex
+    # Python set costs ~500 MB and O(n) hashing per phase.
+    surviving: Optional[Set[int]] = None if counter_mode else set(range(n))
     surviving_mask = np.ones(n, dtype=bool)
     freeze_iteration: Dict[int, int] = {}
     freeze_at = np.full(n, _NEVER, dtype=np.int64)
@@ -201,11 +223,15 @@ def mpc_fractional_matching(
     while d > floor:
         if phases >= _MAX_PHASES:
             raise RuntimeError("MPC-Simulation exceeded the phase cap")
-        active = [
-            v for v in surviving if v not in freeze_iteration
-        ]
+        if counter_mode:
+            # freeze_at is synced with freeze_iteration at the end of every
+            # phase, so the mask form is exactly "surviving and unfrozen".
+            active_ids = np.flatnonzero(surviving_mask & (freeze_at == _NEVER))
+        else:
+            active = [v for v in surviving if v not in freeze_iteration]
+            active_ids = np.asarray(active, dtype=np.int64)
         active_mask = np.zeros(n, dtype=bool)
-        active_mask[active] = True
+        active_mask[active_ids] = True
 
         # Active subgraph G' and the per-vertex frozen load y_old (Line (b)):
         # one vectorized pass splits the surviving edges into "both active"
@@ -228,14 +254,32 @@ def mpc_fractional_matching(
 
         # Line (d): i.i.d. random vertex partitioning; one exchange ships
         # each induced subgraph (memory validated by the substrate).  The
-        # draw order over ``active`` is load-bearing for reproducibility.
-        owner = {v: rng.randrange(num_machines) for v in active}
-        parts: List[List[int]] = [[] for _ in range(num_machines)]
-        for v in active:
-            parts[owner[v]].append(v)
+        # sha draw order over ``active`` is load-bearing for
+        # reproducibility; counter mode evaluates the same partition as a
+        # pure function of (owner_key, phase, vertex) in one array pass.
         owner_of = np.full(n, -1, dtype=np.int64)
-        if active:
-            owner_of[active] = [owner[v] for v in active]
+        parts: List[Sequence[int]]
+        if counter_mode:
+            owner_vals = counter_rng.integers(
+                owner_key, active_ids, phases, num_machines
+            )
+            owner_of[active_ids] = owner_vals
+            grouping = np.argsort(owner_vals, kind="stable")
+            sorted_ids = active_ids[grouping]
+            part_counts = np.bincount(owner_vals, minlength=num_machines)
+            bounds = np.zeros(num_machines + 1, dtype=np.int64)
+            np.cumsum(part_counts, out=bounds[1:])
+            parts = [
+                sorted_ids[bounds[index] : bounds[index + 1]]
+                for index in range(num_machines)
+            ]
+        else:
+            owner = {v: rng.randrange(num_machines) for v in active}
+            parts = [[] for _ in range(num_machines)]
+            for v in active:
+                parts[owner[v]].append(v)
+            if active:
+                owner_of[active] = [owner[v] for v in active]
 
         # Same-machine active edges, grouped by machine in one sort.
         same = owner_of[active_u] == owner_of[active_v]
@@ -260,11 +304,11 @@ def mpc_fractional_matching(
         if executor is not None and executor.distributed:
             local_of = np.full(n, -1, dtype=np.int64)
             for part in parts:
-                if part:
+                if len(part):
                     local_of[part] = np.arange(len(part), dtype=np.int64)
             tasks = []
             for index, part in enumerate(parts):
-                if not part:
+                if len(part) == 0:
                     continue
                 part_ids = np.asarray(part, dtype=np.int64)
                 lo, hi = boundaries[index], boundaries[index + 1]
@@ -320,10 +364,10 @@ def mpc_fractional_matching(
 
         loads = vertex_loads(t)
         over_one = np.flatnonzero(surviving_mask & (loads > 1.0))
-        for v in over_one.tolist():
-            surviving.discard(v)
-            surviving_mask[v] = False
-            heavy_removed.add(v)
+        surviving_mask[over_one] = False
+        heavy_removed.update(over_one.tolist())
+        if surviving is not None:
+            surviving.difference_update(over_one.tolist())
         if over_one.size:
             loads = vertex_loads(t)
         newly_frozen = np.flatnonzero(
@@ -391,10 +435,17 @@ def mpc_fractional_matching(
     }
     # Re-emit in graph.edges() order: downstream consumers (the Lemma 5.1
     # rounding) iterate this dict and draw randomness per edge, so the
-    # insertion order is part of the reproducible behavior.
-    weights: Dict[Edge, float] = {
-        edge: computed[edge] for edge in graph.edges() if edge in computed
-    }
+    # insertion order is part of the reproducible behavior.  For CSR inputs
+    # ``computed`` is already built in canonical ascending order — exactly
+    # what ``CSRGraph.edges()`` yields — so the pass is the identity and is
+    # skipped (it would cost an O(m) Python iteration per solve).
+    weights: Dict[Edge, float]
+    if isinstance(graph, CSRGraph):
+        weights = computed
+    else:
+        weights = {
+            edge: computed[edge] for edge in graph.edges() if edge in computed
+        }
     cover = set(freeze_iteration) | heavy_removed
     matching = FractionalMatching(graph=graph, weights=weights, vertex_cover=cover)
     return MatchingMPCResult(
@@ -431,7 +482,7 @@ def _ship_partitions(
 
 
 def _simulate_machine(
-    part: List[int],
+    part: Sequence[int],
     edges_u: np.ndarray,
     edges_v: np.ndarray,
     y_old: np.ndarray,
@@ -456,7 +507,7 @@ def _simulate_machine(
     the historical per-vertex loop (the threshold is a pure function of
     ``(seed, v, t)`` and the estimate arithmetic is unchanged).
     """
-    if not part:
+    if len(part) == 0:
         return
     part_ids = np.asarray(part, dtype=np.int64)
     local_of = np.full(len(y_old), -1, dtype=np.int64)

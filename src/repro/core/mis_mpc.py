@@ -34,18 +34,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Union
 
 import numpy as np
 
 from repro.core.config import MISConfig
 from repro.core.greedy_mis import greedy_mis_on_prefix_csr
 from repro.core.sparsified_mis import sparsified_mis
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.graph import Graph
 from repro.mpc.primitives import broadcast_vertex_set
 from repro.mpc.spec import ClusterSpec
 from repro.mpc.words import edge_words
+from repro.utils import counter_rng
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 
@@ -57,7 +58,9 @@ class MISResult:
     Attributes
     ----------
     mis:
-        The computed maximal independent set.
+        The computed maximal independent set — a set of vertex ids under
+        ``config.rng == "sha"``, an ascending ``int64`` array under
+        ``"counter"`` (out-of-core runs never materialize Python sets).
     rounds:
         Total MPC rounds consumed (measured by the cluster).
     prefix_phases:
@@ -69,7 +72,7 @@ class MISResult:
         Edge count shipped in each prefix phase, for the E2 experiment.
     """
 
-    mis: Set[int]
+    mis: Union[Set[int], np.ndarray]
     rounds: int
     prefix_phases: int
     max_shipped_edges: int
@@ -107,7 +110,7 @@ def rank_schedule(n: int, max_degree: int, config: MISConfig) -> List[int]:
 
 
 def mis_mpc(
-    graph: Graph,
+    graph: Union[Graph, CSRGraph],
     seed: SeedLike = None,
     config: Optional[MISConfig] = None,
     trace: Optional[Trace] = None,
@@ -132,13 +135,28 @@ def mis_mpc(
 
     spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="fit")
     cluster = spec.build_cluster(trace=trace)
-    csr = CSRGraph.from_graph(graph)
+    csr = as_csr(graph)
+    counter_mode = config.rng == "counter"
 
-    # Shared random permutation: rank[v] in [0, n), all distinct.
-    permutation = list(range(n))
-    rng.shuffle(permutation)
-    ranks = np.empty(n, dtype=np.int64)
-    ranks[permutation] = np.arange(n, dtype=np.int64)
+    cutoffs = rank_schedule(n, csr.max_degree(), config)
+    # Shared random permutation: rank[v] in [0, n), all distinct.  Counter
+    # mode draws it with the Philox generator (no O(n) Python shuffle) and
+    # skips it entirely in the pure-sparse regime, where no prefix phase
+    # ever reads a rank.
+    ranks: Optional[np.ndarray] = None
+    if counter_mode:
+        if cutoffs:
+            perm_key = counter_rng.derive_key(
+                rng.getrandbits(64), "mis-permutation"
+            )
+            permutation = counter_rng.permutation(perm_key, n)
+            ranks = np.empty(n, dtype=np.int64)
+            ranks[permutation] = np.arange(n, dtype=np.int64)
+    else:
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        ranks = np.empty(n, dtype=np.int64)
+        ranks[permutation] = np.arange(n, dtype=np.int64)
     cluster.broadcast(n, context="mis: broadcast permutation")
 
     # ``alive`` tracks the residual graph (False = isolated by a removed
@@ -148,7 +166,6 @@ def mis_mpc(
     decided = np.zeros(n, dtype=bool)
     mis: Set[int] = set()
 
-    cutoffs = rank_schedule(n, csr.max_degree(), config)
     shipped_sizes: List[int] = []
     previous_cutoff = 0
     distributed = executor is not None and executor.distributed
@@ -172,7 +189,12 @@ def mis_mpc(
             cluster.ship_to_machine(
                 0,
                 "prefix_edges",
-                [(int(u), int(v)) for u, v in prefix_edges],
+                # Counter mode ships by count only — materializing an O(n)
+                # tuple list per phase defeats the residency budget; the
+                # word accounting is unchanged.
+                None
+                if counter_mode
+                else [(int(u), int(v)) for u, v in prefix_edges],
                 edge_words(len(prefix_edges)),
                 context=f"mis: ship prefix phase {phase_index}",
             )
@@ -223,20 +245,46 @@ def mis_mpc(
         if session_key is not None:
             executor.close_session(session_key)
 
-    active = set(np.flatnonzero(~decided).tolist())
-    finish = sparsified_mis(
-        csr.filter_edges(alive),
-        active=active,
-        seed=rng.getrandbits(64),
-        cluster=cluster,
-        rounds_factor=config.luby_rounds_factor,
-        trace=trace,
-        strategy=config.sparse_strategy,
-    )
-    mis |= finish.mis
+    finish_seed = rng.getrandbits(64)
+    if counter_mode:
+        # With no prefix phases, `alive` is still all-True and
+        # filter_edges would only copy the (possibly out-of-core) arrays;
+        # pass the graph itself so the finish stays residency-bounded.
+        residual = csr.filter_edges(alive) if cutoffs else csr
+        finish = sparsified_mis(
+            residual,
+            active=~decided,
+            seed=finish_seed,
+            cluster=cluster,
+            rounds_factor=config.luby_rounds_factor,
+            trace=trace,
+            strategy=config.sparse_strategy,
+            rng_mode="counter",
+        )
+        finish_ids = np.asarray(finish.mis, dtype=np.int64)
+        if mis:
+            prefix_ids = np.fromiter(mis, dtype=np.int64, count=len(mis))
+            mis_out: Union[Set[int], np.ndarray] = np.union1d(
+                prefix_ids, finish_ids
+            )
+        else:
+            mis_out = finish_ids
+    else:
+        active = set(np.flatnonzero(~decided).tolist())
+        finish = sparsified_mis(
+            csr.filter_edges(alive),
+            active=active,
+            seed=finish_seed,
+            cluster=cluster,
+            rounds_factor=config.luby_rounds_factor,
+            trace=trace,
+            strategy=config.sparse_strategy,
+        )
+        mis |= finish.mis
+        mis_out = mis
 
     return MISResult(
-        mis=mis,
+        mis=mis_out,
         rounds=cluster.rounds,
         prefix_phases=len(cutoffs),
         max_shipped_edges=max(shipped_sizes, default=0),

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Set, Union
+from typing import Iterable, Optional, Set, Union
 
 import numpy as np
 
@@ -40,8 +40,25 @@ from repro.graph.graph import Graph
 from repro.mpc.ball import ball_gather_rounds
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.words import edge_words
+from repro.utils import counter_rng
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
+
+# Counter-mode compaction threshold: once the residual's both-active slot
+# count fits this many entries, the Luby loop switches from chunked
+# full-graph scans to an in-RAM compacted slot list (~64 MB at the cap —
+# the two int64 slot arrays plus their filter copies are resident
+# simultaneously, and the cap is part of the solve-side RSS budget the
+# 10M rung is gated on).  Luby halves the residual edge count per round,
+# so the switch still lands within the first handful of rounds.
+_COMPACT_SLOT_BUDGET = 4_000_000
+
+# Counter draws are pure functions of (key, id, round), so they can be
+# computed over bounded id blocks: the flatnonzero ids, the uint64
+# mixing temporaries, and the float conversion then peak at block size
+# instead of O(n) each (several such arrays are alive at once inside
+# one vectorized draw).
+_DRAW_BLOCK = 2_000_000
 
 
 def luby_round(residual: Graph, active: Set[int], rng) -> Set[int]:
@@ -68,9 +85,14 @@ def luby_round(residual: Graph, active: Set[int], rng) -> Set[int]:
 
 @dataclass(frozen=True)
 class SparsifiedMISOutcome:
-    """Result of the sparsified finish."""
+    """Result of the sparsified finish.
 
-    mis: Set[int]
+    ``mis`` is a set of vertex ids in SHA mode and an ascending ``int64``
+    array in counter mode (a 10M-vertex Python set would blow the
+    out-of-core residency budget by itself).
+    """
+
+    mis: Union[Set[int], np.ndarray]
     rounds_charged: int
     luby_rounds_simulated: int
     leftover_edges: int
@@ -78,12 +100,13 @@ class SparsifiedMISOutcome:
 
 def sparsified_mis(
     graph: Union[Graph, CSRGraph],
-    active: Optional[Set[int]] = None,
+    active: Union[Set[int], Iterable[int], np.ndarray, None] = None,
     seed: SeedLike = None,
     cluster: Optional[MPCCluster] = None,
     rounds_factor: float = 2.0,
     trace: Optional[Trace] = None,
     strategy: str = "luby",
+    rng_mode: str = "sha",
 ) -> SparsifiedMISOutcome:
     """Compute an MIS of ``graph`` restricted to ``active`` vertices.
 
@@ -94,7 +117,9 @@ def sparsified_mis(
         are ignored and must be isolated from it for maximality semantics
         to make sense).
     active:
-        Vertices still undecided; defaults to all vertices.
+        Vertices still undecided; defaults to all vertices.  A boolean
+        mask or id array is accepted too (the out-of-core callers never
+        materialize Python sets).
     cluster:
         If given, rounds are charged to it and the leftover-graph shipment
         is memory-validated against its word budget.
@@ -106,19 +131,47 @@ def sparsified_mis(
         desire-level process of [Gha16] (see
         :mod:`repro.core.ghaffari_local`).  Both have ball-local outputs,
         so the exponentiation charging is identical.
+    rng_mode:
+        ``"sha"`` reproduces the byte-pinned draws; ``"counter"`` runs the
+        residency-bounded vectorized Luby loop with counter-based draws
+        (Luby only) — statistically equivalent, not byte-identical, and
+        returns ``mis`` as an array instead of a set.
     """
     if strategy not in ("luby", "ghaffari"):
         raise ValueError(f"unknown sparsified-MIS strategy {strategy!r}")
+    if rng_mode not in ("sha", "counter"):
+        raise ValueError(f"unknown rng_mode {rng_mode!r}")
+    if rng_mode == "counter" and strategy != "luby":
+        raise ValueError("rng_mode='counter' supports only strategy='luby'")
     rng = make_rng(seed)
     csr = as_csr(graph)
     n = csr.num_vertices
-    if active is None:
-        active = set(range(n))
+    if isinstance(active, np.ndarray):
+        arr = active
+        if arr.dtype == np.bool_:
+            if len(arr) != n:
+                raise ValueError(f"active mask length {len(arr)} != n {n}")
+            active_mask = arr.copy()
+        else:
+            active_mask = np.zeros(n, dtype=bool)
+            active_mask[arr.astype(np.int64, copy=False)] = True
+        active = None
     else:
-        active = set(active)
-    active_mask = np.zeros(n, dtype=bool)
-    if active:
-        active_mask[list(active)] = True
+        if active is None:
+            active = set(range(n))
+        else:
+            active = set(active)
+        active_mask = np.zeros(n, dtype=bool)
+        if active:
+            active_mask[list(active)] = True
+    if rng_mode == "counter":
+        return _sparsified_mis_counter(
+            csr, active_mask, rng, cluster, rounds_factor, trace
+        )
+    if active is None:
+        # Mask input on the SHA path: rebuild the set in ascending order
+        # (matching how the MPC callers construct it).
+        active = set(np.flatnonzero(active_mask).tolist())
     mis: Set[int] = set()
 
     num_edges = csr.count_edges_within(active_mask)
@@ -205,4 +258,150 @@ def sparsified_mis(
         rounds_charged=rounds_charged,
         luby_rounds_simulated=simulated,
         leftover_edges=len(leftover_edges),
+    )
+
+
+def _sparsified_mis_counter(
+    csr: CSRGraph,
+    active_mask: np.ndarray,
+    rng,
+    cluster: Optional[MPCCluster],
+    rounds_factor: float,
+    trace: Optional[Trace],
+) -> SparsifiedMISOutcome:
+    """The residency-bounded Luby loop (``rng_mode="counter"``).
+
+    Identical process shape to the SHA path — same round budget, same
+    winner rule, same leftover shipment and leader finish — but:
+
+    * draws come from the counter generator, vectorized over the active
+      ids, so the per-vertex Python loop disappears;
+    * adjacency is consumed through :meth:`CSRGraph.adjacency_chunks`,
+      so on an :class:`~repro.ooc.MMapCSRGraph` only one chunk of edges
+      is resident at a time;
+    * once the residual fits :data:`_COMPACT_SLOT_BUDGET`, the
+      both-active slots are compacted into RAM and later rounds never
+      touch the backing file again;
+    * the result set and leftover are arrays/counts, never Python sets.
+
+    The outcome is a deterministic function of ``(seed, graph)`` and is
+    identical for in-RAM and mmap representations of the same graph
+    (chunking only reorders exact integer/boolean work).
+    """
+    n = csr.num_vertices
+    key = counter_rng.derive_key(rng.getrandbits(64), "sparsified-mis-luby")
+    num_edges = csr.count_edges_within(active_mask)
+    local_rounds = max(1, math.ceil(rounds_factor * math.log2(num_edges + 2)))
+    rounds_charged = ball_gather_rounds(local_rounds)
+    if cluster is not None:
+        cluster.charge_rounds(rounds_charged, "sparsified-mis: ball gathering")
+
+    mis_mask = np.zeros(n, dtype=bool)
+    draw = np.empty(n, dtype=np.float64)
+    comp_src: Optional[np.ndarray] = None
+    comp_dst: Optional[np.ndarray] = None
+    simulated = 0
+    for round_index in range(local_rounds):
+        if not active_mask.any():
+            break
+        for block_lo in range(0, n, _DRAW_BLOCK):
+            ids = np.flatnonzero(active_mask[block_lo : block_lo + _DRAW_BLOCK])
+            if ids.size:
+                ids += block_lo
+                draw[ids] = counter_rng.uniform01(key, ids, round_index)
+        beaten = np.zeros(n, dtype=bool)
+        if comp_src is None:
+            collecting = True
+            collected = 0
+            src_parts, dst_parts = [], []
+            for src, dst in csr.adjacency_chunks():
+                both = active_mask[src] & active_mask[dst]
+                s = src[both]
+                t = np.asarray(dst[both])
+                beats = (draw[t] < draw[s]) | ((draw[t] == draw[s]) & (t < s))
+                beaten[s[beats]] = True
+                if collecting:
+                    collected += len(s)
+                    if collected > _COMPACT_SLOT_BUDGET:
+                        collecting = False
+                        src_parts, dst_parts = [], []
+                    else:
+                        src_parts.append(s)
+                        dst_parts.append(t)
+            if collecting:
+                comp_src = (
+                    np.concatenate(src_parts)
+                    if src_parts
+                    else np.empty(0, dtype=np.int64)
+                )
+                comp_dst = (
+                    np.concatenate(dst_parts)
+                    if dst_parts
+                    else np.empty(0, dtype=np.int64)
+                )
+                maybe_record(
+                    trace, "sparsified_compacted", slots=len(comp_src)
+                )
+        else:
+            keep = active_mask[comp_src] & active_mask[comp_dst]
+            comp_src = comp_src[keep]
+            comp_dst = comp_dst[keep]
+            beats = (draw[comp_dst] < draw[comp_src]) | (
+                (draw[comp_dst] == draw[comp_src]) & (comp_dst < comp_src)
+            )
+            beaten[comp_src[beats]] = True
+        winners_mask = active_mask & ~beaten
+        winners = np.flatnonzero(winners_mask)
+        simulated += 1
+        mis_mask |= winners_mask
+        if comp_src is None:
+            active_mask = csr.remove_closed_neighborhoods(
+                winners, mask=active_mask
+            )
+            active_mask &= ~winners_mask  # already False; keeps intent clear
+        else:
+            removed = winners_mask.copy()
+            removed[comp_dst[winners_mask[comp_src]]] = True
+            active_mask &= ~removed
+
+    if comp_src is not None:
+        both = active_mask[comp_src] & active_mask[comp_dst]
+        leftover_count = int(np.count_nonzero(both)) // 2
+    else:
+        leftover_count = csr.count_edges_within(active_mask)
+    if cluster is not None:
+        cluster.ship_to_machine(
+            0,
+            "sparsified_leftover",
+            None,
+            edge_words(leftover_count),
+            context="sparsified-mis: leftover to leader",
+        )
+        rounds_charged += 1
+        cluster.charge_rounds(1, "sparsified-mis: broadcast result")
+        rounds_charged += 1
+
+    # Leader finish, ascending ids — same rule as the SHA path's
+    # ``sorted(active)`` greedy.
+    indptr = csr.indptr
+    indices = csr.indices
+    chosen = np.zeros(n, dtype=bool)
+    remaining = np.flatnonzero(active_mask)
+    for v in remaining.tolist():
+        if not chosen[indices[indptr[v] : indptr[v + 1]]].any():
+            chosen[v] = True
+            mis_mask[v] = True
+
+    maybe_record(
+        trace,
+        "sparsified_mis",
+        luby_rounds=simulated,
+        rounds_charged=rounds_charged,
+        leftover_edges=leftover_count,
+    )
+    return SparsifiedMISOutcome(
+        mis=np.flatnonzero(mis_mask),
+        rounds_charged=rounds_charged,
+        luby_rounds_simulated=simulated,
+        leftover_edges=leftover_count,
     )

@@ -13,18 +13,49 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import RngStream, SeedLike
+from repro.utils import counter_rng
+from repro.utils.rng import RngStream, SeedLike, make_rng
 from repro.utils.validation import require
 
 
 class ThresholdOracle:
-    """Deterministic oracle for the thresholds ``T_{v,t}``."""
+    """Deterministic oracle for the thresholds ``T_{v,t}``.
 
-    def __init__(self, low: float, high: float, seed: SeedLike = None) -> None:
+    ``mode="sha"`` (default) draws from the byte-pinned SHA-256 stream;
+    ``mode="counter"`` computes the same pure function of ``(seed, v, t)``
+    with the vectorized counter-based generator
+    (:mod:`repro.utils.counter_rng`) — different values, same
+    distribution, same band short-circuits.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        seed: SeedLike = None,
+        mode: str = "sha",
+    ) -> None:
         require(low <= high, f"threshold interval empty: [{low}, {high}]")
+        require(
+            mode in ("sha", "counter"),
+            f"mode must be 'sha' or 'counter', got {mode!r}",
+        )
         self._low = low
         self._high = high
-        self._stream = RngStream(seed, namespace="central-rand-thresholds")
+        self._mode = mode
+        if mode == "sha":
+            self._stream = RngStream(seed, namespace="central-rand-thresholds")
+            self._key = 0
+        else:
+            self._stream = None
+            self._key = counter_rng.derive_key(
+                make_rng(seed).getrandbits(64), "central-rand-thresholds"
+            )
+
+    @property
+    def mode(self) -> str:
+        """``"sha"`` or ``"counter"`` — stamped into RunReport configs."""
+        return self._mode
 
     @property
     def low(self) -> float:
@@ -40,6 +71,8 @@ class ThresholdOracle:
         """The threshold ``T_{v,t}`` — identical for every caller."""
         if self._low == self._high:
             return self._low
+        if self._mode == "counter":
+            return float(self.thresholds_batch([vertex], iteration)[0])
         return self._stream.uniform(self._low, self._high, vertex, iteration)
 
     def crosses(self, vertex: int, iteration: int, estimate: float) -> bool:
@@ -72,6 +105,9 @@ class ThresholdOracle:
         vs = np.asarray(vertices, dtype=np.int64)
         if self._low == self._high:
             return np.full(len(vs), self._low, dtype=np.float64)
+        if self._mode == "counter":
+            unit = counter_rng.uniform01(self._key, vs, iteration)
+            return self._low + (self._high - self._low) * unit
         return self._stream.uniform_batch(self._low, self._high, vs, iteration)
 
     def crosses_batch(self, vertices, iteration: int, estimates) -> np.ndarray:

@@ -405,6 +405,19 @@ class CSRGraph:
             out[self.neighbors_bulk(vs)] = False
         return out
 
+    def adjacency_chunks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(src, dst)`` directed-slot blocks covering all ``2m`` slots.
+
+        Blocks arrive in slot order (ascending ``src``, rows sorted), so
+        concatenating them reproduces ``(self.src, self.indices)`` exactly.
+        The in-RAM graph yields one block; the memory-mapped subclass
+        (:class:`repro.ooc.MMapCSRGraph`) yields bounded blocks and
+        releases the backing pages between them — kernels written against
+        this iterator are residency-bounded on out-of-core graphs for
+        free.
+        """
+        yield self.src, self._indices
+
     def threshold_filter(self, deg_cap: int, mask: MaskLike = None) -> np.ndarray:
         """Boolean mask of vertices whose (residual) degree is ``<= deg_cap``.
 

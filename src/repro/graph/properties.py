@@ -3,17 +3,46 @@
 Every algorithm's output is checked against these predicates in the test
 suite; they are the ground-truth definitions of the objects the paper
 computes (Section 2, Preliminaries).
+
+CSR inputs (:class:`~repro.graph.csr.CSRGraph`, including the
+memory-mapped out-of-core subclass) take vectorized chunked paths that
+scan adjacency through
+:meth:`~repro.graph.csr.CSRGraph.adjacency_chunks` — same predicates,
+O(chunk) residency, no per-vertex Python loops.  That is what lets the
+n=10M counter-mode solutions be validated at all (see OUT_OF_CORE.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Set, Tuple
+from typing import Dict, Iterable, Mapping, Set, Tuple, Union
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Edge, Graph, canonical_edge
 
+GraphLike = Union[Graph, CSRGraph]
 
-def is_independent_set(graph: Graph, vertex_set: Iterable[int]) -> bool:
+
+def _vertex_mask(n: int, vertex_set: Iterable[int]) -> np.ndarray:
+    """Boolean membership mask over ``range(n)`` (raises if out of range)."""
+    if isinstance(vertex_set, np.ndarray):
+        ids = vertex_set.astype(np.int64, copy=False)
+    else:
+        ids = np.fromiter(vertex_set, dtype=np.int64)
+    mask = np.zeros(n, dtype=bool)
+    mask[ids] = True
+    return mask
+
+
+def is_independent_set(graph: GraphLike, vertex_set: Iterable[int]) -> bool:
     """Whether no two vertices of ``vertex_set`` are adjacent."""
+    if isinstance(graph, CSRGraph):
+        chosen = _vertex_mask(graph.num_vertices, vertex_set)
+        return not any(
+            bool(np.any(chosen[src] & chosen[dst]))
+            for src, dst in graph.adjacency_chunks()
+        )
     chosen = set(vertex_set)
     for v in chosen:
         if any(u in chosen for u in graph.neighbors_view(v)):
@@ -21,8 +50,21 @@ def is_independent_set(graph: Graph, vertex_set: Iterable[int]) -> bool:
     return True
 
 
-def is_maximal_independent_set(graph: Graph, vertex_set: Iterable[int]) -> bool:
+def is_maximal_independent_set(
+    graph: GraphLike, vertex_set: Iterable[int]
+) -> bool:
     """Whether ``vertex_set`` is independent and no vertex can be added."""
+    if isinstance(graph, CSRGraph):
+        # Single adjacency pass: an edge inside the set refutes
+        # independence; otherwise every out-of-set vertex needs a chosen
+        # neighbor (isolated unchosen vertices correctly fail).
+        chosen = _vertex_mask(graph.num_vertices, vertex_set)
+        covered = np.zeros(graph.num_vertices, dtype=bool)
+        for src, dst in graph.adjacency_chunks():
+            if np.any(chosen[src] & chosen[dst]):
+                return False
+            covered[src[chosen[dst]]] = True
+        return bool(np.all(chosen | covered))
     chosen = set(vertex_set)
     if not is_independent_set(graph, chosen):
         return False
@@ -68,20 +110,28 @@ def matching_vertices(edges: Iterable[Edge]) -> Set[int]:
     return covered
 
 
-def is_vertex_cover(graph: Graph, vertex_set: Iterable[int]) -> bool:
+def is_vertex_cover(graph: GraphLike, vertex_set: Iterable[int]) -> bool:
     """Whether every edge has at least one endpoint in ``vertex_set``."""
+    if isinstance(graph, CSRGraph):
+        cover = _vertex_mask(graph.num_vertices, vertex_set)
+        return not any(
+            bool(np.any(~cover[src] & ~cover[dst]))
+            for src, dst in graph.adjacency_chunks()
+        )
     cover = set(vertex_set)
     return all(u in cover or v in cover for u, v in graph.edges())
 
 
 def is_valid_fractional_matching(
-    graph: Graph, weights: Mapping[Edge, float], tolerance: float = 1e-9
+    graph: GraphLike, weights: Mapping[Edge, float], tolerance: float = 1e-9
 ) -> bool:
     """Whether edge weights are nonnegative and each vertex's sum is ≤ 1.
 
     This is the LP-feasibility condition the paper's duality argument
     (Lemma 4.1) rests on; ``tolerance`` absorbs float accumulation.
     """
+    if isinstance(graph, CSRGraph):
+        return _is_valid_fractional_matching_csr(graph, weights, tolerance)
     loads: Dict[int, float] = {}
     for (u, v), x in weights.items():
         if x < -tolerance:
@@ -91,6 +141,51 @@ def is_valid_fractional_matching(
         loads[u] = loads.get(u, 0.0) + x
         loads[v] = loads.get(v, 0.0) + x
     return all(load <= 1.0 + tolerance for load in loads.values())
+
+
+def _is_valid_fractional_matching_csr(
+    graph: CSRGraph, weights: Mapping[Edge, float], tolerance: float
+) -> bool:
+    """Array form of the feasibility check, chunked over adjacency.
+
+    Edge membership is decided by sorted-key intersection against the
+    forward (``src < dst``) slots of each adjacency chunk — each
+    canonical edge appears in exactly one chunk, so one pass marks every
+    resolvable query.
+    """
+    if not weights:
+        return True
+    n = graph.num_vertices
+    count = len(weights)
+    eu = np.fromiter((edge[0] for edge in weights), dtype=np.int64, count=count)
+    ev = np.fromiter((edge[1] for edge in weights), dtype=np.int64, count=count)
+    x = np.fromiter(weights.values(), dtype=np.float64, count=count)
+    if bool(np.any(x < -tolerance)):
+        return False
+    in_range = (eu >= 0) & (eu < n) & (ev >= 0) & (ev < n)
+    if not bool(np.all(in_range)):
+        return False
+    lo = np.minimum(eu, ev)
+    hi = np.maximum(eu, ev)
+    if bool(np.any(lo == hi)):
+        return False  # self-loops are never edges of a simple graph
+    query = np.sort(lo * np.int64(n) + hi)
+    found = np.zeros(len(query), dtype=bool)
+    for src, dst in graph.adjacency_chunks():
+        forward = src < dst
+        slot_keys = src[forward] * np.int64(n) + dst[forward]
+        if len(slot_keys) == 0:
+            continue
+        pos = np.searchsorted(slot_keys, query)
+        hit = pos < len(slot_keys)
+        hit[hit] = slot_keys[pos[hit]] == query[hit]
+        found |= hit
+    if not bool(np.all(found)):
+        return False
+    loads = np.bincount(eu, weights=x, minlength=n) + np.bincount(
+        ev, weights=x, minlength=n
+    )
+    return bool(np.all(loads <= 1.0 + tolerance))
 
 
 def fractional_matching_weight(weights: Mapping[Edge, float]) -> float:

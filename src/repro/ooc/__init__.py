@@ -1,0 +1,43 @@
+"""``repro.ooc`` — out-of-core graphs: memory-mapped CSR storage.
+
+The subsystem behind the n=10M bounded-RSS benchmark rung (see
+OUT_OF_CORE.md):
+
+* :class:`MMapCSRGraph` / :func:`save_csr` / :func:`load_csr` — the
+  atomic, schema-versioned on-disk CSR format and the mmap-backed
+  graph that satisfies the full :class:`~repro.graph.csr.GraphView`
+  kernel surface with residency bounded by chunk size.
+* :func:`build_mmap_csr` — two-pass external construction from
+  (gzipped) edge-list text, O(n + chunk) resident.
+* :func:`write_edge_list` (``repro.ooc.generate``) — chunk-streaming
+  random / power-law generators so the input file itself never exists
+  in RAM.
+"""
+
+from repro.ooc.build import build_mmap_csr
+from repro.ooc.format import (
+    MMapCSRGraph,
+    OOC_SCHEMA_VERSION,
+    load_csr,
+    read_header,
+    save_csr,
+)
+from repro.ooc.generate import (
+    FAMILIES,
+    write_edge_list,
+    write_gnp_edge_list,
+    write_powerlaw_edge_list,
+)
+
+__all__ = [
+    "MMapCSRGraph",
+    "OOC_SCHEMA_VERSION",
+    "load_csr",
+    "read_header",
+    "save_csr",
+    "build_mmap_csr",
+    "FAMILIES",
+    "write_edge_list",
+    "write_gnp_edge_list",
+    "write_powerlaw_edge_list",
+]

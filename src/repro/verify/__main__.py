@@ -78,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="additive slack of the round budgets (default 8.0)",
     )
     parser.add_argument(
+        "--rng",
+        choices=("sha", "counter"),
+        default=None,
+        help=(
+            "randomness mode threaded into every run; 'counter' audits "
+            "the out-of-core fast generator against the same certificates "
+            "and cross-backend agreement bands (default: backend configs)"
+        ),
+    )
+    parser.add_argument(
         "--jsonl", default=None, help="stream verified reports to this file"
     )
     return parser
@@ -109,6 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             sizes=[int(s) for s in _csv(args.sizes)],
             seeds=[int(s) for s in _csv(args.seeds)],
             policy=policy,
+            rng=args.rng,
             on_report=on_report,
         )
     except ValueError as error:

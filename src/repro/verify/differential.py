@@ -182,6 +182,7 @@ def differential_sweep(
     seeds: Sequence[int] = (0, 1),
     policy: Optional[BudgetPolicy] = None,
     epsilon: float = 0.1,
+    rng: Optional[str] = None,
     on_report: Optional[Callable[[Any], None]] = None,
 ) -> DifferentialReport:
     """Run the full differential matrix and collect failures.
@@ -201,6 +202,12 @@ def differential_sweep(
     epsilon:
         ε used for the agreement bands (runs use backend-default configs,
         whose ε is 0.1).
+    rng:
+        Randomness-mode override threaded into every run (see
+        :func:`repro.api.solve`).  ``"counter"`` is how the out-of-core
+        fast generator gets statistically validated: counter-mode MPC
+        runs must still certify and must sit inside the same
+        cross-backend agreement bands as the sha-pinned baselines.
     on_report:
         Optional callback per finished report (progress streaming).
     """
@@ -255,6 +262,7 @@ def differential_sweep(
                                 instance,
                                 backend=backend,
                                 seed=seed,
+                                rng=rng,
                                 verify=policy,
                             )
                         except Exception as error:

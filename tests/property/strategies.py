@@ -11,6 +11,10 @@ same way everywhere:
   weights;
 * :func:`graphs_with_subsets` — a graph plus a random vertex subset, for
   the mask/induced-subgraph parity checks;
+* :func:`csr_disk_pairs` — a :class:`CSRGraph` round-tripped through the
+  out-of-core on-disk format, paired with its
+  :class:`~repro.ooc.MMapCSRGraph` view under random chunk sizes, for
+  the mmap-vs-RAM kernel byte-parity suite;
 * :func:`dense_pair_graphs` — small graphs drawn by sampling explicit
   vertex pairs (hits duplicate-edge and near-clique shapes ``G(n, m)``
   rarely produces);
@@ -25,6 +29,8 @@ take.
 
 from __future__ import annotations
 
+import tempfile
+
 import numpy as np
 from hypothesis import strategies as st
 
@@ -32,6 +38,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.generators import gnm_random_graph
 from repro.graph.graph import Graph
 from repro.graph.weighted import WeightedGraph
+from repro.ooc import MMapCSRGraph, save_csr
 from repro.utils.rng import make_rng
 
 
@@ -66,6 +73,27 @@ def dense_pair_graphs(draw, max_vertices: int = 24, max_edges: int = 60):
 def csr_graphs(draw, max_vertices: int = 40):
     """The :func:`graphs` distribution, converted to :class:`CSRGraph`."""
     return CSRGraph.from_graph(draw(graphs(max_vertices=max_vertices)))
+
+
+@st.composite
+def csr_disk_pairs(draw, max_vertices: int = 40):
+    """A CSR graph and its on-disk mmap view, plus the backing tempdir.
+
+    The returned :class:`tempfile.TemporaryDirectory` must stay
+    referenced for as long as the mmap graph is used (its finalizer
+    deletes the files); tests just keep the 3-tuple together.  Chunk
+    sizes are drawn down to 1 so the chunked kernels cross chunk
+    boundaries in every shape hypothesis can find.
+    """
+    ram = draw(csr_graphs(max_vertices=max_vertices))
+    tmp = tempfile.TemporaryDirectory(prefix="repro-ooc-")
+    save_csr(ram, tmp.name)
+    chunk_slots = draw(st.integers(min_value=1, max_value=len(ram.indices) + 1))
+    chunk_rows = draw(st.integers(min_value=1, max_value=ram.num_vertices + 1))
+    mapped = MMapCSRGraph(
+        tmp.name, chunk_slots=chunk_slots, chunk_rows=chunk_rows
+    )
+    return ram, mapped, tmp
 
 
 @st.composite

@@ -94,3 +94,116 @@ class TestIterEdgeList:
         path.write_text("0 1\n")
         with pytest.raises(ValueError, match="chunk_edges"):
             list(iter_edge_list(path, chunk_edges=0))
+
+
+class TestStrictness:
+    """Header/endpoint consistency errors carry path and line number."""
+
+    @staticmethod
+    def collect(path, **kw):
+        return list(iter_edge_list(path, **kw))
+
+    def test_header_smaller_than_endpoint_already_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 7\nn 3\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2: header declares n=3"):
+            self.collect(path)
+
+    def test_endpoint_beyond_declared_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("n 5\n0 1\n2 5\n")
+        with pytest.raises(
+            ValueError, match=r"g\.txt:3: endpoint 5 out of range"
+        ):
+            self.collect(path)
+
+    def test_error_line_numbers_count_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header comment\n\nn 4\n0 1\n9 1\n")
+        with pytest.raises(ValueError, match=r"g\.txt:5: endpoint 9"):
+            self.collect(path)
+
+    def test_read_edge_list_enforces_declared_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("n 2\n0 3\n")
+        with pytest.raises(ValueError, match="out of range"):
+            read_edge_list(path)
+
+    def test_growing_header_is_allowed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("n 2\n0 1\nn 6\n0 5\n")
+        n, edges = self.collect(path)[-1]
+        assert n == 6
+
+    def test_malformed_line_is_line_numbered(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n2 3 4\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2: malformed"):
+            self.collect(path)
+
+
+class TestIterEdgeArray:
+    """The vectorized block iterator must agree with the line iterator."""
+
+    @staticmethod
+    def as_pairs(path, **kw):
+        from repro.graph.io import iter_edge_array
+
+        out = []
+        n = 0
+        for n, block in iter_edge_array(path, **kw):
+            out.extend(map(tuple, block.tolist()))
+        return n, out
+
+    def test_parity_with_iter_edge_list(self, tmp_path):
+        g = gnm_random_graph(80, 400, seed=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        n_arr, pairs_arr = self.as_pairs(path, chunk_edges=57)
+        chunks = list(iter_edge_list(path, chunk_edges=57))
+        pairs_list = [edge for _, chunk in chunks for edge in chunk]
+        assert n_arr == chunks[-1][0] == 80
+        assert pairs_arr == pairs_list
+
+    def test_parity_on_gzip(self, tmp_path):
+        g = gnm_random_graph(40, 150, seed=9)
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        n_arr, pairs_arr = self.as_pairs(path)
+        assert n_arr == 40
+        assert len(pairs_arr) == 150
+
+    def test_yields_header_even_without_edges(self, tmp_path):
+        from repro.graph.io import iter_edge_array
+
+        path = tmp_path / "g.txt"
+        path.write_text("n 9\n")
+        chunks = list(iter_edge_array(path))
+        assert len(chunks) == 1
+        assert chunks[0][0] == 9
+        assert len(chunks[0][1]) == 0
+
+    def test_strictness_matches_line_iterator(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("n 3\n0 1\n1 4\n")
+        with pytest.raises(ValueError, match=r"g\.txt:3: endpoint 4"):
+            self.as_pairs(path)
+        path.write_text("0 6\nn 2\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2: header declares n=2"):
+            self.as_pairs(path)
+
+    def test_compensating_malformation_rejected(self, tmp_path):
+        # "01\n2 3 4" must not be re-tokenized into "01 2" / "3 4" by the
+        # block-splitting fast path: each physical line stands alone.
+        path = tmp_path / "g.txt"
+        path.write_text("01\n2 3 4\n")
+        with pytest.raises(ValueError, match="malformed"):
+            self.as_pairs(path)
+
+    def test_negative_endpoints_pass_through(self, tmp_path):
+        # Range rejection is the builder's job (graphs reject them);
+        # the iterator parses any integer pair.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n-2 3\n")
+        _, pairs = self.as_pairs(path)
+        assert (-2, 3) in pairs

@@ -4,7 +4,11 @@ Compares the timing cells shared by two perf-harness runs (any of the
 ``benchmarks/perf`` suites — e2e, kernels, stream, dist) and prints a
 per-``(task, backend, family, n)`` (or per-kernel) speedup table,
 ``baseline / current``.  With ``--fail-over F`` it exits 1 when any shared
-cell regressed by more than a factor of ``F``.
+cell regressed by more than a factor of ``F``.  With ``--fail-rss-over B``
+it additionally exits 1 when any current-run cell carrying
+``peak_rss_bytes`` (the ``ooc`` suite) exceeds ``B`` bytes — the
+bounded-residency claim of OUT_OF_CORE.md, enforced as an absolute
+ceiling because RSS does not drift with machine speed.
 
 Because the committed baselines and a CI runner are different machines,
 absolute seconds drift; ``--normalize KEY`` divides every cell of each run
@@ -38,6 +42,9 @@ SUITE_LAYOUT: Dict[str, Tuple[Tuple[str, ...], str]] = {
     # op is "update" or "query"; p99 latency under concurrent tenants —
     # see benchmarks/perf/bench_serve.py.
     "serve": (("task", "family", "n", "op"), "p99_ms"),
+    # out-of-core solve rung; cells also carry "peak_rss_bytes", gated
+    # separately by --fail-rss-over — see benchmarks/perf/bench_ooc.py.
+    "ooc": (("task", "family", "n"), "seconds"),
 }
 
 
@@ -150,6 +157,46 @@ def diff(
     return 0
 
 
+def rss_gate(payload: Dict[str, Any], fail_rss_over: int) -> int:
+    """Gate the current run's ``peak_rss_bytes`` cells against a ceiling.
+
+    Absolute bytes (not a baseline ratio): RSS is a property of the
+    algorithm + input size, not of machine speed, so a fixed ceiling
+    transfers between hosts in a way wall-clock never does.  A run with
+    *no* RSS-carrying cells fails loudly — a gate that stopped seeing
+    its measurements must not pass vacuously.
+    """
+    fields, _ = layout_for(payload)
+    failures: List[str] = []
+    seen = 0
+    for entry in payload["results"]:
+        rss = entry.get("peak_rss_bytes")
+        if rss is None:
+            continue
+        seen += 1
+        key = "/".join(str(entry[field]) for field in fields)
+        rss = int(rss)
+        print(
+            f"rss {key}: {rss / 2**20:8.1f} MiB "
+            f"(limit {fail_rss_over / 2**20:.1f} MiB)"
+        )
+        if rss > fail_rss_over:
+            failures.append(
+                f"{key}: peak_rss {rss} bytes exceeds --fail-rss-over "
+                f"{fail_rss_over}"
+            )
+    if seen == 0:
+        print("RSS GATE: no cell in the current run carries peak_rss_bytes")
+        return 1
+    if failures:
+        print(f"\nRSS REGRESSION (> {fail_rss_over} bytes):")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(f"rss check OK: {seen} cells within {fail_rss_over} bytes")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="earlier BENCH_*.json (e.g. committed)")
@@ -179,6 +226,15 @@ def main(argv=None) -> int:
         "cannot pass the gate",
     )
     parser.add_argument(
+        "--fail-rss-over",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="exit 1 when any current-run cell carrying peak_rss_bytes "
+        "exceeds BYTES (absolute ceiling — RSS does not scale with "
+        "machine speed the way seconds do)",
+    )
+    parser.add_argument(
         "--min-seconds",
         type=float,
         default=0.05,
@@ -192,7 +248,7 @@ def main(argv=None) -> int:
     if layout_for(baseline) != layout_for(current):
         raise SystemExit("the two files are from different suites")
     _, time_field = layout_for(baseline)
-    return diff(
+    status = diff(
         cells(baseline),
         cells(current),
         args.fail_over,
@@ -205,6 +261,9 @@ def main(argv=None) -> int:
             current.get("environment", {}),
         ),
     )
+    if args.fail_rss_over is not None:
+        status = max(status, rss_gate(current, args.fail_rss_over))
+    return status
 
 
 if __name__ == "__main__":
