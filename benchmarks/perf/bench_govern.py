@@ -1,0 +1,138 @@
+"""Governance perf: governed adversarial cells vs the greedy fallback.
+
+Runs the MPC solvers on the adversarial verify families
+(``gnp_dense_half``, ``powerlaw_heavy``) under a deliberately tight
+``budget`` with governance enabled — cells an ungoverned run cannot
+finish at the larger sizes — and times the greedy/central fallback on
+the same graphs as the floor the degradation rung would land on.  Each
+governed cell records ``total_comm_words`` and whether governance
+actually fired, so ``tools/bench_diff.py`` can gate both wall time
+(``--fail-over``) and absolute communication volume
+(``--fail-comm-over``).  See GOVERNANCE.md.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_govern.py --rung full \
+        --out benchmarks/perf/BENCH_govern.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List
+
+if __package__ in (None, ""):
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from perf.common import environment_stamp, time_call, write_json
+
+SOLVE_SEED = 7
+BUDGET = 0.5  # memory_factor tight enough to breach ungoverned at n >= 96
+KEY_FIELDS = ("task", "family", "n", "mode")
+
+# The CI rung stops at the first breach size; the full rung shows the
+# governed envelope holding as the adversarial graphs grow.
+GOVERN_RUNGS: Dict[str, List[int]] = {
+    "small": [48, 96],
+    "full": [48, 96, 192],
+}
+
+TASKS = ("mis", "matching")
+FALLBACK = {"mis": "greedy", "matching": "greedy"}
+
+
+def run_suite(rung: str) -> List[Dict[str, Any]]:
+    from repro.api import solve
+    from repro.verify.differential import ADVERSARIAL_FAMILIES, FAMILIES
+
+    results: List[Dict[str, Any]] = []
+    for task in TASKS:
+        for family in ADVERSARIAL_FAMILIES:
+            for n in GOVERN_RUNGS[rung]:
+                graph = FAMILIES[family](n, SOLVE_SEED + n)
+                for mode in ("governed", "greedy"):
+                    holder: Dict[str, Any] = {}
+
+                    if mode == "governed":
+
+                        def run():
+                            holder["report"] = solve(
+                                task,
+                                graph,
+                                backend="mpc",
+                                seed=SOLVE_SEED,
+                                budget=BUDGET,
+                                governance={},
+                            )
+
+                    else:
+
+                        def run():
+                            holder["report"] = solve(
+                                task, graph, backend=FALLBACK[task], seed=SOLVE_SEED
+                            )
+
+                    seconds = time_call(run, repeats=3 if n <= 96 else 2)
+                    report = holder["report"]
+                    entry = {
+                        "task": task,
+                        "family": family,
+                        "n": graph.num_vertices,
+                        "m": graph.num_edges,
+                        "mode": mode,
+                        "seconds": seconds,
+                        "rounds": report.rounds,
+                        "size": report.size,
+                        "valid": report.valid,
+                    }
+                    if mode == "governed":
+                        trail = report.extras.get("governance") or {}
+                        entry["total_comm_words"] = report.total_comm_words
+                        entry["governance_triggered"] = bool(trail.get("triggered"))
+                        entry["degraded_to"] = trail.get("degraded_to")
+                    results.append(entry)
+                    print(
+                        f"{task:10s} {family:16s} n={entry['n']:>4d} "
+                        f"{mode:8s} {seconds:8.3f}s rounds={report.rounds} "
+                        f"size={report.size} valid={report.valid}"
+                        + (
+                            f" comm={entry['total_comm_words']}"
+                            f" triggered={entry['governance_triggered']}"
+                            if mode == "governed"
+                            else ""
+                        ),
+                        flush=True,
+                    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rung", choices=sorted(GOVERN_RUNGS), default="small")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument(
+        "--label", default="current", help="label recorded in the output"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.rung)
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "suite": "govern",
+        "label": args.label,
+        "rung": args.rung,
+        "budget": BUDGET,
+        "environment": environment_stamp(),
+        "results": results,
+    }
+    if args.out:
+        write_json(args.out, payload)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,25 @@ def _parse_fault_plan(text: Optional[str]):
         raise ValueError(f"bad --fault-plan: {error}") from None
 
 
+def _parse_governance(text: Optional[str]) -> Any:
+    """Parse ``--governance`` as GovernancePolicy fields (e.g. '{"watermark": 0.8}').
+
+    The empty object ``'{}'`` opts in with the default policy; ``'off'``
+    (or omitting the flag) leaves governance disabled.
+    """
+    if text is None or text == "off":
+        return None
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("--governance must be a JSON object (or 'off')")
+    from repro.govern import GovernancePolicy
+
+    try:
+        return GovernancePolicy.from_any(payload) or True
+    except TypeError as error:
+        raise ValueError(f"bad --governance: {error}") from None
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     rows = [
         {
@@ -153,6 +172,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         workers=args.workers,
         fault_policy=_parse_fault_policy(args.fault_policy),
         fault_plan=_parse_fault_plan(args.fault_plan),
+        governance=_parse_governance(args.governance),
     )
     if args.json:
         print(report.to_json(indent=2))
@@ -184,6 +204,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=seeds,
         configs=(_parse_config(args.config),),
         budget=args.budget,
+        governance=_parse_governance(args.governance),
     )
     result = solve_many(
         specs, processes=args.processes, jsonl_path=args.jsonl
@@ -248,6 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     solve_p.add_argument(
+        "--governance",
+        default=None,
+        metavar="JSON",
+        help=(
+            "govern the memory envelope (repro.govern): GovernancePolicy "
+            "fields as JSON ('{}' = defaults; e.g. '{\"watermark\": 0.8, "
+            "\"max_chunks\": 32}')"
+        ),
+    )
+    solve_p.add_argument(
         "--verify",
         action="store_true",
         help="attach a repro.verify certificate; non-zero exit if it fails",
@@ -263,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--seeds", default=None, help="comma-separated ints")
     sweep_p.add_argument("--budget", type=float, default=None)
+    sweep_p.add_argument(
+        "--governance",
+        default=None,
+        metavar="JSON",
+        help="sweep-wide GovernancePolicy JSON ('{}' = defaults)",
+    )
     sweep_p.add_argument("--config", default=None, help="JSON config overrides")
     sweep_p.add_argument("--processes", type=int, default=None)
     sweep_p.add_argument("--jsonl", default=None, help="stream reports to this file")

@@ -55,6 +55,7 @@ from repro.utils.trace import Trace
     rounds_bound="loglog",
     rounds_constant=2.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _mis_mpc(
     graph: Any,
@@ -63,15 +64,29 @@ def _mis_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     result = mis_mpc(
-        graph, seed=seed, config=config, trace=trace, executor=executor
+        graph,
+        seed=seed,
+        config=config,
+        trace=trace,
+        executor=executor,
+        governor=governor,
+    )
+    # Governed runs report the substrate's metered comm total (it counts
+    # the chunked re-ships governance introduces); the ungoverned figure
+    # keeps its historical definition — the parity pins fingerprint it.
+    comm = (
+        result.total_comm_words
+        if governor is not None
+        else edge_words(sum(result.shipped_edges_per_phase))
     )
     return SolverOutput(
         solution=result.mis,
         rounds=result.rounds,
         max_machine_words=result.peak_words,
-        total_comm_words=edge_words(sum(result.shipped_edges_per_phase)),
+        total_comm_words=comm,
         extras={
             "prefix_phases": result.prefix_phases,
             "max_shipped_edges": result.max_shipped_edges,
@@ -167,6 +182,7 @@ def _mis_greedy(
     rounds_bound="loglog",
     rounds_constant=4.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _fractional_mpc(
     graph: Any,
@@ -175,14 +191,23 @@ def _fractional_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     result = mpc_fractional_matching(
-        graph, config=config, seed=seed, trace=trace, executor=executor
+        graph,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
+        governor=governor,
     )
     return SolverOutput(
         solution=dict(result.matching.weights),
         rounds=result.rounds,
-        max_machine_words=result.max_machine_edges,
+        max_machine_words=(
+            result.peak_words if governor is not None else result.max_machine_edges
+        ),
+        total_comm_words=result.total_comm_words if governor is not None else 0,
         extras={
             "phases": result.phases,
             "iterations": result.iterations,
@@ -274,6 +299,7 @@ def _fractional_central(
     rounds_bound="loglog",
     rounds_constant=64.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _matching_mpc(
     graph: Any,
@@ -282,13 +308,21 @@ def _matching_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     result = mpc_maximum_matching(
-        graph, config=config, seed=seed, trace=trace, executor=executor
+        graph,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
+        governor=governor,
     )
     return SolverOutput(
         solution=result.matching,
         rounds=result.rounds,
+        max_machine_words=result.peak_words if governor is not None else 0,
+        total_comm_words=result.total_comm_words if governor is not None else 0,
         extras={
             "passes": result.passes,
             "per_pass_sizes": list(result.per_pass_sizes),
@@ -371,6 +405,7 @@ def _matching_central(
     rounds_bound="loglog",
     rounds_constant=4.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _cover_mpc(
     graph: Any,
@@ -379,13 +414,21 @@ def _cover_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     result = mpc_vertex_cover(
-        graph, config=config, seed=seed, trace=trace, executor=executor
+        graph,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
+        governor=governor,
     )
     return SolverOutput(
         solution=result.cover,
         rounds=result.rounds,
+        max_machine_words=result.peak_words if governor is not None else 0,
+        total_comm_words=result.total_comm_words if governor is not None else 0,
         extras={"fractional_weight": result.fractional_weight},
     )
 
@@ -453,6 +496,7 @@ def _cover_greedy(
     rounds_bound="loglog",
     rounds_constant=64.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _one_plus_eps_mpc(
     graph: Any,
@@ -461,6 +505,7 @@ def _one_plus_eps_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     config = config or MatchingConfig()
     result = one_plus_eps_matching(
@@ -470,10 +515,13 @@ def _one_plus_eps_mpc(
         seed=seed,
         trace=trace,
         executor=executor,
+        governor=governor,
     )
     return SolverOutput(
         solution=result.matching,
         rounds=result.rounds,
+        max_machine_words=result.peak_words if governor is not None else 0,
+        total_comm_words=result.total_comm_words if governor is not None else 0,
         extras={
             "sweeps": result.sweeps,
             "augmentations": result.augmentations,
@@ -547,6 +595,7 @@ def _one_plus_eps_central(
     rounds_bound="loglog",
     rounds_constant=2.0,
     supports_executor=True,
+    supports_governance=True,
 )
 def _weighted_mpc(
     graph: WeightedGraph,
@@ -555,6 +604,7 @@ def _weighted_mpc(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> SolverOutput:
     config = config or MatchingConfig()
     result = mpc_weighted_matching(
@@ -564,6 +614,7 @@ def _weighted_mpc(
         trace=trace,
         memory_factor=config.memory_factor,
         executor=executor,
+        governor=governor,
     )
     return SolverOutput(
         solution=result.matching,

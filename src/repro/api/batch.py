@@ -52,6 +52,7 @@ class RunSpec:
     config: Any = None
     budget: Optional[float] = None
     verify: Any = False
+    governance: Any = None
     label: str = ""
 
 
@@ -86,6 +87,7 @@ def sweep(
     seeds: Sequence[Optional[int]] = (None,),
     configs: Sequence[Any] = (None,),
     budget: Optional[float] = None,
+    governance: Any = None,
 ) -> List[RunSpec]:
     """The cross product ``graphs × tasks × backends × seeds × configs``.
 
@@ -114,6 +116,7 @@ def sweep(
                                 seed=seed,
                                 config=config,
                                 budget=budget,
+                                governance=governance,
                                 label=f"g{graph_index}",
                             )
                         )
@@ -130,6 +133,7 @@ def _run_spec(spec: RunSpec) -> RunReport:
         seed=spec.seed,
         budget=spec.budget,
         verify=spec.verify,
+        governance=spec.governance,
     )
     extras: Dict[str, Any] = {}
     if spec.label:

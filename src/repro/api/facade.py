@@ -21,6 +21,8 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.api.registry import SolverEntry, registry
 from repro.dist.executor import resolve_executor
+from repro.govern import GovernanceDegraded, GovernancePolicy, Governor
+from repro.mpc.cluster import MemoryExceededError
 from repro.api.report import (
     EDGE_SET,
     FRACTIONAL,
@@ -43,6 +45,18 @@ GraphLike = Union[Graph, WeightedGraph, CSRGraph]
 
 _RNG_MODES = ("sha", "counter")
 
+# Where rung 3 of the governance ladder lands: the sequential reference
+# solver for the task — no memory envelope to breach, quality still inside
+# the verify oracle bands.
+_DEGRADE_BACKENDS = {
+    "mis": "greedy",
+    "fractional_matching": "central",
+    "matching": "greedy",
+    "vertex_cover": "greedy",
+    "one_plus_eps_matching": "greedy",
+    "weighted_matching": "greedy",
+}
+
 
 def solve(
     task: str,
@@ -59,6 +73,7 @@ def solve(
     workers: Optional[int] = None,
     fault_policy: Any = None,
     fault_plan: Any = None,
+    governance: Any = None,
 ) -> RunReport:
     """Solve ``task`` on ``graph`` with the chosen ``backend``.
 
@@ -135,6 +150,19 @@ def solve(
         deterministic fault injections, for chaos testing the supervised
         path; implies a default ``fault_policy`` when none is given.
         Requires ``executor="parallel"``.
+    governance:
+        Opt into the :mod:`repro.govern` load-governance ladder:
+        ``True`` for the default :class:`~repro.govern.GovernancePolicy`,
+        a policy instance, or a dict of its fields.  A governed solve
+        watches observed per-phase load and intervenes *before* the hard
+        memory cap aborts — adaptive sparsification, then batched
+        chunking, then graceful degradation to the task's sequential
+        reference backend — with every intervention recorded in
+        ``report.extras["governance"]``.  Mirrors ``budget`` semantics:
+        backends without a memory model ignore it so sweep-wide settings
+        work.  When no rung fires the output is byte-identical to the
+        ungoverned run; requires ``executor=None`` (the distributed
+        transports have their own supervision, see ``fault_policy``).
 
     Returns
     -------
@@ -161,19 +189,64 @@ def solve(
     prepared = _prepare_graph(entry, graph)
     resolved_config = _resolve_config(entry, config, budget, rng)
 
+    gov_policy = GovernancePolicy.from_any(governance)
+    governor: Optional[Governor] = None
+    if gov_policy is not None and entry.supports_governance:
+        # Entries without governance support ignore the request (like
+        # ``budget``) so sweep-wide settings work across backends.
+        if dist_executor is not None:
+            if owned:
+                dist_executor.close()
+            raise ValueError(
+                "governance requires executor=None — the distributed "
+                "transports carry their own supervision (fault_policy)"
+            )
+        governor = Governor(gov_policy)
+
     solver_kwargs: Dict[str, Any] = {}
     if dist_executor is not None:
         dist_executor.reset_metrics()
         solver_kwargs["executor"] = dist_executor
+    if governor is not None:
+        solver_kwargs["governor"] = governor
+    degraded_entry: Optional[SolverEntry] = None
     try:
         started = time.perf_counter()
-        output = entry.fn(
-            prepared,
-            config=resolved_config,
-            seed=seed,
-            trace=trace,
-            **solver_kwargs,
-        )
+        try:
+            output = entry.fn(
+                prepared,
+                config=resolved_config,
+                seed=seed,
+                trace=trace,
+                **solver_kwargs,
+            )
+        except (GovernanceDegraded, MemoryExceededError) as failure:
+            if governor is None or not gov_policy.allow_degrade:
+                raise
+            if isinstance(failure, MemoryExceededError):
+                # The hard cap aborted despite rungs 1-2 (a disabled rung
+                # or an unpredicted spike): record the degrade reason the
+                # ladder would have written, then fall back the same way.
+                try:
+                    governor.degrade(
+                        f"hard memory cap exceeded: {failure.used_words} > "
+                        f"{failure.capacity_words} words",
+                        failure.context,
+                    )
+                except GovernanceDegraded:
+                    pass
+            degraded_entry = registry.get(
+                entry.task, _DEGRADE_BACKENDS[entry.task]
+            )
+            fallback_config = _resolve_config(
+                degraded_entry,
+                config if isinstance(config, dict) else None,
+                None,
+                None,
+            )
+            output = degraded_entry.fn(
+                prepared, config=fallback_config, seed=seed, trace=trace
+            )
         elapsed = time.perf_counter() - started
     finally:
         # Close owned workers before reading the RSS high-water mark so
@@ -199,6 +272,13 @@ def solve(
         if recovery_log is not None:
             # Read after close: the log object outlives the transport.
             extras["faults"] = recovery_log.summary()
+    if governor is not None:
+        governance_record = governor.summary()
+        governance_record["degraded"] = degraded_entry is not None
+        if degraded_entry is not None:
+            governance_record["degraded_to"] = degraded_entry.backend
+            governance_record["reason"] = governor.degraded_reason
+        extras["governance"] = governance_record
 
     report = RunReport(
         task=entry.task,

@@ -83,6 +83,11 @@ class SolverEntry:
     # Whether the adapter accepts an ``executor=`` kwarg (see repro.dist).
     # The façade rejects executor requests for entries without it.
     supports_executor: bool = False
+    # Whether the adapter accepts a ``governor=`` kwarg (see repro.govern).
+    # Governance requests on entries without it are silently ignored —
+    # central/greedy backends have no budget to govern, and a sweep over
+    # backends must not fail on them.
+    supports_governance: bool = False
 
 
 class UnknownSolverError(KeyError):
@@ -108,6 +113,7 @@ class SolverRegistry:
         rounds_bound: str = "none",
         rounds_constant: float = 1.0,
         supports_executor: bool = False,
+        supports_governance: bool = False,
     ) -> Callable[[SolverFn], SolverFn]:
         """Decorator registering ``fn`` for ``(task, backend)``.
 
@@ -145,6 +151,7 @@ class SolverRegistry:
                 rounds_bound=rounds_bound,
                 rounds_constant=rounds_constant,
                 supports_executor=supports_executor,
+                supports_governance=supports_governance,
             )
             return fn
 

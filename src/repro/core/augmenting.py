@@ -37,6 +37,8 @@ class AugmentingResult:
     sweeps: int
     augmentations: int
     max_path_length: int
+    total_comm_words: int = 0
+    peak_words: int = 0
 
 
 def one_plus_eps_matching(
@@ -46,18 +48,25 @@ def one_plus_eps_matching(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> AugmentingResult:
     """Compute a ``(1+ε)``-approximate matching of ``graph``.
 
     Starts from the Theorem 1.2 matching and eliminates augmenting paths of
     length up to ``2*ceil(1/ε) - 1``.  ``executor`` parallelizes the base
-    Theorem 1.2 passes; the path-elimination sweeps stay driver-side.
+    Theorem 1.2 passes and ``governor`` governs their memory envelope; the
+    path-elimination sweeps stay driver-side.
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError(f"epsilon must lie in (0, 1), got {epsilon!r}")
     config = config or MatchingConfig()
     base = mpc_maximum_matching(
-        graph, config=config, seed=seed, trace=trace, executor=executor
+        graph,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
+        governor=governor,
     )
     matching = set(base.matching)
     rounds = base.rounds
@@ -73,6 +82,8 @@ def one_plus_eps_matching(
         sweeps=improved.sweeps,
         augmentations=improved.augmentations,
         max_path_length=max_length,
+        total_comm_words=base.total_comm_words,
+        peak_words=base.peak_words,
     )
 
 

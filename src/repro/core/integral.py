@@ -57,6 +57,8 @@ class IntegralMatchingResult:
     passes: int
     per_pass_sizes: List[int] = field(default_factory=list)
     cleanup_edges: int = 0
+    total_comm_words: int = 0
+    peak_words: int = 0
 
 
 def mpc_maximum_matching(
@@ -66,12 +68,16 @@ def mpc_maximum_matching(
     max_passes: Optional[int] = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> IntegralMatchingResult:
     """Compute a ``(2+O(ε))``-approximate integral matching of ``graph``.
 
     ``executor`` (an optional :class:`repro.dist.DistExecutor`) is handed
     to every per-pass :func:`mpc_fractional_matching` call; rounding and
     cleanup stay driver-side (their sequential RNG order is load-bearing).
+    A ``governor`` is likewise handed to every pass — its peak-hold
+    estimator persists across passes, so imbalance measured in pass 1
+    informs the partition sizing of pass 2.
     """
     config = config or MatchingConfig()
     rng = make_rng(seed)
@@ -84,6 +90,8 @@ def mpc_maximum_matching(
     matching: Set[Edge] = set()
     residual = graph.copy()
     rounds = 0
+    comm_words = 0
+    peak_words = 0
     per_pass: List[int] = []
     empty_streak = 0
 
@@ -94,8 +102,11 @@ def mpc_maximum_matching(
             seed=rng.getrandbits(64),
             trace=trace,
             executor=executor,
+            governor=governor,
         )
         rounds += fractional.rounds
+        comm_words += fractional.total_comm_words
+        peak_words = max(peak_words, fractional.peak_words)
         candidates = fractional.rounding_candidates(config.epsilon)
         if fractional.weight < 1.0 or not candidates:
             break
@@ -142,4 +153,6 @@ def mpc_maximum_matching(
         passes=len(per_pass),
         per_pass_sizes=per_pass,
         cleanup_edges=len(cleanup.matching),
+        total_comm_words=comm_words,
+        peak_words=peak_words,
     )

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.config import MatchingConfig
 from repro.core.fractional import FractionalMatching
 from repro.core.thresholds import ThresholdOracle
+from repro.govern.governor import governed_broadcast
 from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.graph import Edge, Graph
 from repro.mpc.cluster import Message, MPCCluster
@@ -118,6 +119,8 @@ class MatchingMPCResult:
     max_machine_edges: int = 0
     machine_edges_per_phase: List[int] = field(default_factory=list)
     direct_iterations: int = 0
+    total_comm_words: int = 0
+    peak_words: int = 0
 
     @property
     def vertex_cover(self) -> Set[int]:
@@ -141,6 +144,7 @@ def mpc_fractional_matching(
     oracle: Optional[ThresholdOracle] = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> MatchingMPCResult:
     """Run MPC-Simulation on ``graph``.
 
@@ -158,6 +162,15 @@ def mpc_fractional_matching(
         Central-Rand iterations run on its workers (outputs and round
         accounting byte-identical to the in-process path — see
         DISTRIBUTED.md); otherwise this sequential reference path runs.
+    governor:
+        Optional :class:`repro.govern.Governor`.  Watches per-phase load
+        and intervenes before the word budget is breached: raises the
+        phase's machine count when the predicted hottest induced
+        subgraph would cross the soft watermark (adaptive
+        sparsification — changes the owner draws, so governed-and-
+        triggered runs are validated by verify bands, not byte pins),
+        wave-splits over-budget scatters, and chunks the per-phase
+        freeze broadcasts.  Exact pass-through when it never triggers.
     """
     config = config or MatchingConfig()
     epsilon = config.epsilon
@@ -182,6 +195,8 @@ def mpc_fractional_matching(
 
     spec = ClusterSpec.from_graph(graph, config.memory_factor, machines="sqrt")
     cluster = spec.build_cluster(trace=trace)
+    if governor is not None:
+        governor.bind(cluster)
 
     counter_mode = config.rng == "counter"
     # The machine-assignment key is drawn once up front so per-phase owner
@@ -198,6 +213,14 @@ def mpc_fractional_matching(
     edge_array = csr.edge_array()
     eu = np.ascontiguousarray(edge_array[:, 0])
     ev = np.ascontiguousarray(edge_array[:, 1])
+
+    if governor is not None:
+        # Prime the ball-size estimator with the input's degree skew so
+        # the first (heaviest) scatter is predicted before any phase has
+        # been observed.
+        from repro.graph.statistics import load_summary
+
+        governor.estimator.prime(load_summary(csr))
 
     # The paper's V'.  Counter mode keeps only the mask — a 10M-vertex
     # Python set costs ~500 MB and O(n) hashing per phase.
@@ -249,52 +272,81 @@ def mpc_fractional_matching(
         active_u = eu[both_active]
         active_v = ev[both_active]
 
-        num_machines = max(2, int(math.sqrt(d)))
-        iterations = config.iterations_per_phase(num_machines)
+        base_machines = max(2, int(math.sqrt(d)))
+        num_machines = base_machines
+        partition_context = f"matching: phase {phases + 1} partition"
+        if governor is not None:
+            # Rung 1 (adaptive sparsification): raising the machine count
+            # before the owner draws lowers the same-machine co-location
+            # probability, shrinking both the hottest induced subgraph
+            # (~ edges/k²) and the shipped volume (~ edges/k).  Returns
+            # the base count untouched when the prediction fits — the
+            # byte-identity case.
+            num_machines = governor.plan_partitions(
+                base_machines, edge_words(len(active_u)), partition_context
+            )
 
         # Line (d): i.i.d. random vertex partitioning; one exchange ships
         # each induced subgraph (memory validated by the substrate).  The
         # sha draw order over ``active`` is load-bearing for
         # reproducibility; counter mode evaluates the same partition as a
         # pure function of (owner_key, phase, vertex) in one array pass.
-        owner_of = np.full(n, -1, dtype=np.int64)
-        parts: List[Sequence[int]]
-        if counter_mode:
-            owner_vals = counter_rng.integers(
-                owner_key, active_ids, phases, num_machines
+        # Under governance the draw is retried with a doubled part count
+        # when multinomial variance lands one induced subgraph over the
+        # soft budget anyway (nothing has shipped yet); the ungoverned
+        # path runs the body exactly once.
+        while True:
+            owner_of = np.full(n, -1, dtype=np.int64)
+            parts: List[Sequence[int]]
+            if counter_mode:
+                owner_vals = counter_rng.integers(
+                    owner_key, active_ids, phases, num_machines
+                )
+                owner_of[active_ids] = owner_vals
+                grouping = np.argsort(owner_vals, kind="stable")
+                sorted_ids = active_ids[grouping]
+                part_counts = np.bincount(owner_vals, minlength=num_machines)
+                bounds = np.zeros(num_machines + 1, dtype=np.int64)
+                np.cumsum(part_counts, out=bounds[1:])
+                parts = [
+                    sorted_ids[bounds[index] : bounds[index + 1]]
+                    for index in range(num_machines)
+                ]
+            else:
+                owner = {v: rng.randrange(num_machines) for v in active}
+                parts = [[] for _ in range(num_machines)]
+                for v in active:
+                    parts[owner[v]].append(v)
+                if active:
+                    owner_of[active] = [owner[v] for v in active]
+
+            # Same-machine active edges, grouped by machine in one sort.
+            same = owner_of[active_u] == owner_of[active_v]
+            local_u = active_u[same]
+            local_v = active_v[same]
+            machine_of_edge = owner_of[local_u]
+            grouping = np.argsort(machine_of_edge, kind="stable")
+            local_u = local_u[grouping]
+            local_v = local_v[grouping]
+            counts = np.bincount(machine_of_edge, minlength=num_machines)
+            boundaries = np.zeros(num_machines + 1, dtype=np.int64)
+            np.cumsum(counts, out=boundaries[1:])
+            local_edge_counts = [int(c) for c in counts]
+
+            if governor is None:
+                break
+            worst = edge_words(max(local_edge_counts, default=0))
+            if worst <= governor.soft_words:
+                break
+            grown = governor.grow_partitions(
+                base_machines, num_machines, worst, partition_context
             )
-            owner_of[active_ids] = owner_vals
-            grouping = np.argsort(owner_vals, kind="stable")
-            sorted_ids = active_ids[grouping]
-            part_counts = np.bincount(owner_vals, minlength=num_machines)
-            bounds = np.zeros(num_machines + 1, dtype=np.int64)
-            np.cumsum(part_counts, out=bounds[1:])
-            parts = [
-                sorted_ids[bounds[index] : bounds[index + 1]]
-                for index in range(num_machines)
-            ]
-        else:
-            owner = {v: rng.randrange(num_machines) for v in active}
-            parts = [[] for _ in range(num_machines)]
-            for v in active:
-                parts[owner[v]].append(v)
-            if active:
-                owner_of[active] = [owner[v] for v in active]
+            if grown == num_machines:
+                break  # ceiling reached; _ship_partitions decides the fate
+            num_machines = grown
+        iterations = config.iterations_per_phase(num_machines)
 
-        # Same-machine active edges, grouped by machine in one sort.
-        same = owner_of[active_u] == owner_of[active_v]
-        local_u = active_u[same]
-        local_v = active_v[same]
-        machine_of_edge = owner_of[local_u]
-        grouping = np.argsort(machine_of_edge, kind="stable")
-        local_u = local_u[grouping]
-        local_v = local_v[grouping]
-        counts = np.bincount(machine_of_edge, minlength=num_machines)
-        boundaries = np.zeros(num_machines + 1, dtype=np.int64)
-        np.cumsum(counts, out=boundaries[1:])
-        local_edge_counts = [int(c) for c in counts]
-
-        _ship_partitions(cluster, local_edge_counts, phases)
+        _ship_partitions(cluster, local_edge_counts, phases, governor=governor)
         machine_edges_per_phase.append(max(local_edge_counts, default=0))
 
         # Lines (e): every machine simulates I iterations locally.  With a
@@ -359,7 +411,14 @@ def mpc_fractional_matching(
 
         # One broadcast distributes freeze times (Line (g) inputs), one
         # aggregation round recomputes loads and applies Lines (h)-(j).
-        cluster.broadcast(id_words(n), context=f"matching: phase {phases} freezes")
+        # Governed runs chunk the broadcast into sequential sub-batches
+        # when id_words(n) exceeds the soft watermark (rung 2).
+        governed_broadcast(
+            cluster,
+            id_words(n),
+            f"matching: phase {phases} freezes",
+            governor,
+        )
         cluster.charge_rounds(1, f"matching: phase {phases} load aggregation")
 
         loads = vertex_loads(t)
@@ -458,6 +517,8 @@ def mpc_fractional_matching(
         max_machine_edges=max(machine_edges_per_phase, default=0),
         machine_edges_per_phase=machine_edges_per_phase,
         direct_iterations=t - t_before_direct,
+        total_comm_words=cluster.total_comm_words,
+        peak_words=max(cluster.peak_words(), cluster.peak_transient_words),
     )
 
 
@@ -465,20 +526,80 @@ def _ship_partitions(
     cluster: MPCCluster,
     local_edge_counts: List[int],
     phase: int,
+    governor=None,
 ) -> None:
     """Deliver each machine its induced active subgraph (one exchange).
 
     Machine ``i`` receives (and, in the shuffle, forwards) part ``i``'s
     induced edges; the substrate validates both directions against the word
     budget — this is exactly the quantity Lemma 4.7 bounds by ``O(n)``.
+
+    With a governor attached, a scatter whose per-machine volume would
+    cross the soft watermark is split into sequential waves (rung 2),
+    each within budget — extra rounds instead of an abort.  A *single*
+    part too large even alone cannot be waved (the machine must hold its
+    whole induced subgraph to iterate Central-Rand on it) and degrades.
     """
-    outboxes: Dict[int, List[Message]] = {}
-    for index, count in enumerate(local_edge_counts):
-        destination = index % cluster.num_machines
-        outboxes.setdefault(destination, []).append(
-            Message(destination=destination, words=edge_words(count), payload=None)
+    context = f"matching: phase {phase + 1} scatter"
+    messages = [
+        (index % cluster.num_machines, edge_words(count))
+        for index, count in enumerate(local_edge_counts)
+    ]
+    waves: List[List[tuple]] = [messages]
+    if governor is not None:
+        soft = governor.soft_words
+        if any(words > soft for _, words in messages):
+            worst = max(words for _, words in messages)
+            governor.degrade(
+                f"one induced subgraph of {worst} words exceeds the soft "
+                f"budget {soft} even after sparsification",
+                context,
+            )
+        elif governor.policy.allow_chunk:
+            waves = _scatter_waves(messages, soft)
+            if len(waves) > 1:
+                hottest = max(
+                    sum(w for d, w in messages if d == dest)
+                    for dest in {d for d, _ in messages}
+                )
+                governor.record_chunk(context, hottest, len(waves))
+    total = len(waves)
+    for wave_index, wave in enumerate(waves):
+        outboxes: Dict[int, List[Message]] = {}
+        for destination, words in wave:
+            outboxes.setdefault(destination, []).append(
+                Message(destination=destination, words=words, payload=None)
+            )
+        wave_context = (
+            context
+            if total == 1
+            else f"{context} [wave {wave_index + 1}/{total}]"
         )
-    cluster.exchange(outboxes, context=f"matching: phase {phase + 1} scatter")
+        cluster.exchange(outboxes, context=wave_context)
+
+
+def _scatter_waves(messages: List[tuple], soft_words: int) -> List[List[tuple]]:
+    """Greedy first-fit wave split of ``(destination, words)`` messages.
+
+    Each wave keeps every destination's inbox (and, in this scatter
+    topology, each sender's outbox) within ``soft_words``.  Messages are
+    taken in order, so an in-budget scatter comes back as exactly one
+    wave with the original message order — the pass-through case.
+    """
+    waves: List[List[tuple]] = [[]]
+    loads: List[Dict[int, int]] = [{}]
+    for destination, words in messages:
+        placed = False
+        for wave, load in zip(waves, loads):
+            if load.get(destination, 0) + words <= soft_words:
+                wave.append((destination, words))
+                load[destination] = load.get(destination, 0) + words
+                placed = True
+                break
+        if not placed:
+            waves.append([(destination, words)])
+            loads.append({destination: words})
+    return [wave for wave in waves if wave]
 
 
 def _simulate_machine(

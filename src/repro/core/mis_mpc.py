@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.config import MISConfig
 from repro.core.greedy_mis import greedy_mis_on_prefix_csr
 from repro.core.sparsified_mis import sparsified_mis
+from repro.govern.governor import governed_broadcast
 from repro.graph.csr import CSRGraph, as_csr
 from repro.graph.graph import Graph
 from repro.mpc.primitives import broadcast_vertex_set
@@ -79,6 +80,68 @@ class MISResult:
     shipped_edges_per_phase: List[int] = field(default_factory=list)
     luby_rounds_simulated: int = 0
     peak_words: int = 0
+    total_comm_words: int = 0
+
+
+def _ship_prefix(
+    cluster,
+    prefix_edges: np.ndarray,
+    ranks: Optional[np.ndarray],
+    phase_index: int,
+    *,
+    counter_mode: bool,
+    governor=None,
+) -> None:
+    """Ship one phase's prefix-induced subgraph to the leader.
+
+    Ungoverned (or within the soft watermark): one
+    :meth:`~repro.mpc.cluster.MPCCluster.ship_to_machine`, exactly as
+    before.  Over the watermark, the shipment is split into sequential
+    rank-ordered sub-batches (each edge travels with its later-ranked
+    endpoint's batch — the only point of the walk that needs it), stored
+    under the same key so the leader's peak residency is the largest
+    single batch, not the total.  The greedy prefix walk decomposes
+    exactly over this order, so the chunked shipment is
+    solution-preserving.
+    """
+    count = len(prefix_edges)
+    words = edge_words(count)
+    context = f"mis: ship prefix phase {phase_index}"
+    sizes = None if governor is None else governor.plan_chunks(words, context)
+    if sizes is None:
+        cluster.ship_to_machine(
+            0,
+            "prefix_edges",
+            # Counter mode ships by count only — materializing an O(n)
+            # tuple list per phase defeats the residency budget; the
+            # word accounting is unchanged.
+            None
+            if counter_mode
+            else [(int(u), int(v)) for u, v in prefix_edges],
+            words,
+            context=context,
+        )
+        return
+    chunks = len(sizes)
+    if counter_mode or ranks is None:
+        ordered = prefix_edges
+    else:
+        pe_u = prefix_edges[:, 0]
+        pe_v = prefix_edges[:, 1]
+        later = np.where(ranks[pe_u] >= ranks[pe_v], pe_u, pe_v)
+        ordered = prefix_edges[np.argsort(ranks[later], kind="stable")]
+    bounds = np.linspace(0, count, chunks + 1).astype(np.int64)
+    for index in range(chunks):
+        lo, hi = int(bounds[index]), int(bounds[index + 1])
+        cluster.ship_to_machine(
+            0,
+            "prefix_edges",
+            None
+            if counter_mode
+            else [(int(u), int(v)) for u, v in ordered[lo:hi]],
+            edge_words(hi - lo),
+            context=f"{context} [chunk {index + 1}/{chunks}]",
+        )
 
 
 def rank_schedule(n: int, max_degree: int, config: MISConfig) -> List[int]:
@@ -115,6 +178,7 @@ def mis_mpc(
     config: Optional[MISConfig] = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` on a simulated MPC cluster.
 
@@ -126,6 +190,17 @@ def mis_mpc(
     prefix walk runs on a worker against the shared CSR + rank arrays
     (a pure function of its inputs, so output-neutral); the permutation
     draw, residual masks, and cluster accounting stay driver-side.
+
+    A ``governor`` (:class:`repro.govern.Governor`) chunks over-budget
+    bulk operations — the permutation broadcast, the per-phase prefix
+    shipment, the result broadcasts, and the sparsified finish's
+    leftover shipment — into sequential sub-batches within the soft
+    watermark.  Chunking here is *solution-preserving*: the leader's
+    rank-ordered greedy walk decomposes exactly over rank-contiguous
+    sub-batches (each vertex's outcome depends only on earlier-ranked
+    decisions, which the carried ``chosen`` mask holds), so governed MIS
+    runs return the identical set and only the round/peak accounting
+    moves.
     """
     config = config or MISConfig()
     rng = make_rng(seed)
@@ -137,6 +212,11 @@ def mis_mpc(
     cluster = spec.build_cluster(trace=trace)
     csr = as_csr(graph)
     counter_mode = config.rng == "counter"
+    if governor is not None:
+        governor.bind(cluster)
+        from repro.graph.statistics import load_summary
+
+        governor.estimator.prime(load_summary(csr))
 
     cutoffs = rank_schedule(n, csr.max_degree(), config)
     # Shared random permutation: rank[v] in [0, n), all distinct.  Counter
@@ -157,7 +237,7 @@ def mis_mpc(
         rng.shuffle(permutation)
         ranks = np.empty(n, dtype=np.int64)
         ranks[permutation] = np.arange(n, dtype=np.int64)
-    cluster.broadcast(n, context="mis: broadcast permutation")
+    governed_broadcast(cluster, n, "mis: broadcast permutation", governor)
 
     # ``alive`` tracks the residual graph (False = isolated by a removed
     # closed neighborhood); ``decided`` additionally covers dominated
@@ -186,17 +266,13 @@ def mis_mpc(
             # Prefix vertices are undecided, hence never isolated, so their
             # residual-induced edges coincide with original-graph edges.
             prefix_edges = csr.induced_edges(window)
-            cluster.ship_to_machine(
-                0,
-                "prefix_edges",
-                # Counter mode ships by count only — materializing an O(n)
-                # tuple list per phase defeats the residency budget; the
-                # word accounting is unchanged.
-                None
-                if counter_mode
-                else [(int(u), int(v)) for u, v in prefix_edges],
-                edge_words(len(prefix_edges)),
-                context=f"mis: ship prefix phase {phase_index}",
+            _ship_prefix(
+                cluster,
+                prefix_edges,
+                ranks,
+                phase_index,
+                counter_mode=counter_mode,
+                governor=governor,
             )
             shipped_sizes.append(len(prefix_edges))
 
@@ -215,6 +291,7 @@ def mis_mpc(
                 cluster,
                 new_mis.tolist(),
                 context=f"mis: broadcast phase {phase_index} result",
+                governor=governor,
             )
             # The chosen vertices are independent, so their closed
             # neighborhoods can be removed (and marked decided) in one batch,
@@ -260,6 +337,7 @@ def mis_mpc(
             trace=trace,
             strategy=config.sparse_strategy,
             rng_mode="counter",
+            governor=governor,
         )
         finish_ids = np.asarray(finish.mis, dtype=np.int64)
         if mis:
@@ -279,6 +357,7 @@ def mis_mpc(
             rounds_factor=config.luby_rounds_factor,
             trace=trace,
             strategy=config.sparse_strategy,
+            governor=governor,
         )
         mis |= finish.mis
         mis_out = mis
@@ -291,4 +370,5 @@ def mis_mpc(
         shipped_edges_per_phase=shipped_sizes,
         luby_rounds_simulated=finish.luby_rounds_simulated,
         peak_words=cluster.peak_words(),
+        total_comm_words=cluster.total_comm_words,
     )

@@ -107,6 +107,7 @@ def sparsified_mis(
     trace: Optional[Trace] = None,
     strategy: str = "luby",
     rng_mode: str = "sha",
+    governor=None,
 ) -> SparsifiedMISOutcome:
     """Compute an MIS of ``graph`` restricted to ``active`` vertices.
 
@@ -136,6 +137,13 @@ def sparsified_mis(
         residency-bounded vectorized Luby loop with counter-based draws
         (Luby only) — statistically equivalent, not byte-identical, and
         returns ``mis`` as an array instead of a set.
+    governor:
+        Optional :class:`repro.govern.Governor`; chunks the leftover
+        shipment into sequential sub-batches (ordered by larger
+        endpoint, the only point of the leader's ascending greedy walk
+        that needs each edge) when it would cross the soft watermark.
+        Solution-preserving, exactly like the prefix-ship chunking in
+        :mod:`repro.core.mis_mpc`.
     """
     if strategy not in ("luby", "ghaffari"):
         raise ValueError(f"unknown sparsified-MIS strategy {strategy!r}")
@@ -166,7 +174,7 @@ def sparsified_mis(
             active_mask[list(active)] = True
     if rng_mode == "counter":
         return _sparsified_mis_counter(
-            csr, active_mask, rng, cluster, rounds_factor, trace
+            csr, active_mask, rng, cluster, rounds_factor, trace, governor
         )
     if active is None:
         # Mask input on the SHA path: rebuild the set in ascending order
@@ -224,14 +232,9 @@ def sparsified_mis(
     leftover = csr.induced_edges(active_mask)
     leftover_edges = [(int(u), int(v)) for u, v in leftover]
     if cluster is not None:
-        cluster.ship_to_machine(
-            0,
-            "sparsified_leftover",
-            leftover_edges,
-            edge_words(len(leftover_edges)),
-            context="sparsified-mis: leftover to leader",
+        rounds_charged += _ship_leftover(
+            cluster, leftover_edges, len(leftover_edges), governor
         )
-        rounds_charged += 1
         cluster.charge_rounds(1, "sparsified-mis: broadcast result")
         rounds_charged += 1
 
@@ -261,6 +264,45 @@ def sparsified_mis(
     )
 
 
+def _ship_leftover(
+    cluster: MPCCluster,
+    edges: Optional[list],
+    count: int,
+    governor=None,
+) -> int:
+    """Ship the leftover graph to the leader; returns rounds charged.
+
+    One ship (the historical accounting) when ungoverned or within the
+    soft watermark.  Over it, the edges go out in sequential sub-batches
+    ordered by larger endpoint — the batch each edge is first needed in
+    by the leader's ascending greedy walk — stored under the same key so
+    the leader's peak is the largest batch, not the total.
+    """
+    words = edge_words(count)
+    context = "sparsified-mis: leftover to leader"
+    sizes = None if governor is None else governor.plan_chunks(words, context)
+    if sizes is None:
+        cluster.ship_to_machine(
+            0, "sparsified_leftover", edges, words, context=context
+        )
+        return 1
+    chunks = len(sizes)
+    ordered = (
+        None if edges is None else sorted(edges, key=lambda edge: max(edge))
+    )
+    bounds = np.linspace(0, count, chunks + 1).astype(np.int64)
+    for index in range(chunks):
+        lo, hi = int(bounds[index]), int(bounds[index + 1])
+        cluster.ship_to_machine(
+            0,
+            "sparsified_leftover",
+            None if ordered is None else ordered[lo:hi],
+            edge_words(hi - lo),
+            context=f"{context} [chunk {index + 1}/{chunks}]",
+        )
+    return chunks
+
+
 def _sparsified_mis_counter(
     csr: CSRGraph,
     active_mask: np.ndarray,
@@ -268,6 +310,7 @@ def _sparsified_mis_counter(
     cluster: Optional[MPCCluster],
     rounds_factor: float,
     trace: Optional[Trace],
+    governor=None,
 ) -> SparsifiedMISOutcome:
     """The residency-bounded Luby loop (``rng_mode="counter"``).
 
@@ -370,14 +413,9 @@ def _sparsified_mis_counter(
     else:
         leftover_count = csr.count_edges_within(active_mask)
     if cluster is not None:
-        cluster.ship_to_machine(
-            0,
-            "sparsified_leftover",
-            None,
-            edge_words(leftover_count),
-            context="sparsified-mis: leftover to leader",
+        rounds_charged += _ship_leftover(
+            cluster, None, leftover_count, governor
         )
-        rounds_charged += 1
         cluster.charge_rounds(1, "sparsified-mis: broadcast result")
         rounds_charged += 1
 

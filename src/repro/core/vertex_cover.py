@@ -27,6 +27,8 @@ class VertexCoverResult:
     cover: Set[int]
     rounds: int
     fractional_weight: float
+    total_comm_words: int = 0
+    peak_words: int = 0
 
     @property
     def size(self) -> int:
@@ -40,6 +42,7 @@ def mpc_vertex_cover(
     seed: SeedLike = None,
     trace: Optional[Trace] = None,
     executor=None,
+    governor=None,
 ) -> VertexCoverResult:
     """Compute a ``(2+O(ε))``-approximate vertex cover of ``graph``.
 
@@ -49,7 +52,12 @@ def mpc_vertex_cover(
     """
     config = config or MatchingConfig()
     result = mpc_fractional_matching(
-        graph, config=config, seed=seed, trace=trace, executor=executor
+        graph,
+        config=config,
+        seed=seed,
+        trace=trace,
+        executor=executor,
+        governor=governor,
     )
     cover = set(result.vertex_cover)
     if not is_vertex_cover(graph, cover):
@@ -57,7 +65,11 @@ def mpc_vertex_cover(
         # reaching this branch means the simulation has a bug.
         raise RuntimeError("MPC-Simulation returned a non-covering vertex set")
     return VertexCoverResult(
-        cover=cover, rounds=result.rounds, fractional_weight=result.weight
+        cover=cover,
+        rounds=result.rounds,
+        fractional_weight=result.weight,
+        total_comm_words=result.total_comm_words,
+        peak_words=result.peak_words,
     )
 
 

@@ -22,6 +22,7 @@ from repro.baselines.filtering import filtering_maximal_matching
 from repro.graph.graph import Edge, Graph, canonical_edge
 from repro.graph.weighted import WeightedGraph
 from repro.mpc.spec import ClusterSpec
+from repro.mpc.words import edge_words
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.trace import Trace, maybe_record
 from repro.utils.validation import require_epsilon
@@ -61,6 +62,59 @@ def weight_classes(
     return [classes[j] for j in sorted(classes)]
 
 
+def _filter_class(
+    n: int,
+    available: List[Edge],
+    words_per_machine: int,
+    class_seed: int,
+    governor=None,
+    context: str = "weighted: class filtering",
+) -> Tuple[Set[Edge], int]:
+    """Run one weight class through filtering, chunked if over budget.
+
+    The ungoverned (or in-budget) path is byte-identical to calling
+    :func:`filtering_maximal_matching` directly.  Over-budget classes are
+    split into sequential sub-batches; each batch drops edges already
+    matched by earlier batches, so the union stays maximal on the class.
+    """
+    sizes = None
+    if governor is not None:
+        sizes = governor.plan_chunks(edge_words(len(available)), context)
+    if sizes is None:
+        outcome = filtering_maximal_matching(
+            Graph(n, available),
+            words_per_machine=words_per_machine,
+            seed=class_seed,
+        )
+        return outcome.matching, outcome.rounds
+    batch_rng = make_rng(class_seed)
+    count = len(sizes)
+    class_matching: Set[Edge] = set()
+    class_matched: Set[int] = set()
+    rounds = 0
+    for index in range(count):
+        lo = index * len(available) // count
+        hi = (index + 1) * len(available) // count
+        batch = [
+            (u, v)
+            for u, v in available[lo:hi]
+            if u not in class_matched and v not in class_matched
+        ]
+        if not batch:
+            continue
+        outcome = filtering_maximal_matching(
+            Graph(n, batch),
+            words_per_machine=words_per_machine,
+            seed=batch_rng.getrandbits(64),
+        )
+        rounds += outcome.rounds
+        for u, v in outcome.matching:
+            class_matching.add((u, v))
+            class_matched.add(u)
+            class_matched.add(v)
+    return class_matching, rounds
+
+
 def mpc_weighted_matching(
     graph: WeightedGraph,
     epsilon: float = 0.1,
@@ -68,6 +122,7 @@ def mpc_weighted_matching(
     trace: Optional[Trace] = None,
     memory_factor: int = 8,
     executor=None,
+    governor=None,
 ) -> WeightedMatchingResult:
     """Compute a constant-approximate weighted matching of ``graph``.
 
@@ -81,6 +136,14 @@ def mpc_weighted_matching(
     class's filtering run to a worker; the per-class seed is drawn
     driver-side in the same RNG position as the sequential path, keeping
     the outputs identical.
+
+    With a ``governor``, a weight class whose participating edge set
+    exceeds the soft per-machine budget is chunked into sequential
+    sub-batches, each filtered among still-free vertices.  Maximality on
+    the class survives the split (the matched set only grows, so an edge
+    left unmatched by every batch had both endpoints free during its own
+    batch — contradicting that batch's maximality); byte-identity holds
+    whenever no class is chunked.
     """
     require_epsilon(epsilon)
     rng = make_rng(seed)
@@ -91,7 +154,10 @@ def mpc_weighted_matching(
     rounds = 0
     per_class: List[int] = []
     distributed = executor is not None and executor.distributed
-    words_per_machine = ClusterSpec.from_graph(graph, memory_factor).words_per_machine
+    spec = ClusterSpec.from_graph(graph, memory_factor)
+    words_per_machine = spec.words_per_machine
+    if governor is not None:
+        governor.bind_words(words_per_machine, spec.num_machines)
 
     for class_index, edges in enumerate(classes):
         available = [
@@ -108,12 +174,14 @@ def mpc_weighted_matching(
                 phase="weight-classes",
             )
         else:
-            outcome = filtering_maximal_matching(
-                Graph(n, available),
-                words_per_machine=words_per_machine,
-                seed=class_seed,
+            class_matching, class_rounds = _filter_class(
+                n,
+                available,
+                words_per_machine,
+                class_seed,
+                governor=governor,
+                context=f"weighted: class {class_index} filtering",
             )
-            class_matching, class_rounds = outcome.matching, outcome.rounds
         rounds += class_rounds
         per_class.append(len(class_matching))
         for u, v in class_matching:

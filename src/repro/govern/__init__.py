@@ -1,0 +1,43 @@
+"""``repro.govern`` — adaptive load governance for the MPC solvers.
+
+Watches observed per-phase load (machine words, shipped volumes,
+live-vertex counts via the peak-hold ball-size estimator) and intervenes
+*before* the hard ``memory_factor * n^alpha`` budget is breached,
+instead of letting :class:`~repro.mpc.errors.MemoryExceededError` abort
+the run.  See GOVERNANCE.md for the ladder, knob table, and validation
+contract (byte-pins when governance never fires, verify bands when it
+does).
+
+Entry points: ``solve(task, graph, governance=True)`` /
+``python -m repro.api --governance``.
+"""
+
+from repro.govern.estimator import PeakHoldEstimator
+from repro.govern.events import (
+    CHUNK,
+    DEGRADE,
+    EVENT_KINDS,
+    SPARSIFY,
+    WATERMARK,
+    GovernanceEvent,
+)
+from repro.govern.governor import (
+    GovernanceDegraded,
+    Governor,
+    governed_broadcast,
+)
+from repro.govern.policy import GovernancePolicy
+
+__all__ = [
+    "CHUNK",
+    "DEGRADE",
+    "EVENT_KINDS",
+    "SPARSIFY",
+    "WATERMARK",
+    "GovernanceDegraded",
+    "GovernanceEvent",
+    "GovernancePolicy",
+    "Governor",
+    "PeakHoldEstimator",
+    "governed_broadcast",
+]

@@ -1,0 +1,113 @@
+"""Peak-hold ball-size estimator — the governor's load predictor.
+
+The quantity governance must bound is a per-machine *max* (the hottest
+machine's words), but what a phase knows in advance is a *total* (how
+many edge words the active subgraph holds).  The bridge is the imbalance
+ratio ``max_part_load / mean_part_load``, which is driven by degree skew:
+a vertex of degree ``d`` drags ~``d`` potential same-machine edges onto
+whichever machine draws it, so heavy-tailed inputs produce hot parts
+long before the mean does.
+
+The estimator is *peak-hold*: it remembers the worst imbalance ratio any
+phase has exhibited (decayed slowly toward the latest reading, so one
+early outlier does not throttle the whole run forever), and it is primed
+before the first phase from the graph's degree statistics
+(:func:`repro.graph.statistics.load_summary`), so the very first scatter
+— often the heaviest — is already predicted with the skew in hand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.govern.policy import GovernancePolicy
+
+
+class PeakHoldEstimator:
+    """Tracks the worst observed max/mean per-part load imbalance."""
+
+    def __init__(
+        self, policy: Optional[GovernancePolicy] = None, ratio: float = 1.0
+    ) -> None:
+        self._policy = policy or GovernancePolicy()
+        self._ratio = max(1.0, float(ratio))
+        self._observations = 0
+
+    @property
+    def ratio(self) -> float:
+        """Current peak-hold imbalance ratio (``>= 1``)."""
+        return self._ratio
+
+    @property
+    def observations(self) -> int:
+        """Number of per-phase load vectors observed so far."""
+        return self._observations
+
+    def prime(self, summary: "object") -> None:
+        """Prime the ratio from a degree :class:`~repro.graph.statistics.LoadSummary`.
+
+        Random vertex partitioning concentrates loads around the mean at
+        rate ``sqrt``, so the primed imbalance is the square root of the
+        degree skew, capped by ``policy.prime_cap`` (an adversarial max
+        degree should raise caution, not an automatic intervention).
+        """
+        skew = float(getattr(summary, "skew_ratio", 1.0))
+        primed = math.sqrt(max(1.0, skew))
+        self._ratio = max(
+            self._ratio, min(primed, self._policy.prime_cap)
+        )
+
+    def observe(self, loads: Iterable[float]) -> float:
+        """Fold one phase's per-part loads into the peak-hold ratio.
+
+        Returns the phase's own max/mean ratio.  The held ratio rises
+        immediately to any new worst case and decays geometrically
+        toward later, calmer readings.
+        """
+        values = [float(x) for x in loads if x > 0]
+        self._observations += 1
+        if not values:
+            return 1.0
+        mean = sum(values) / len(values)
+        phase_ratio = max(values) / mean if mean > 0 else 1.0
+        if phase_ratio >= self._ratio:
+            self._ratio = phase_ratio
+        else:
+            decayed = self._ratio * self._policy.decay
+            self._ratio = max(phase_ratio, decayed, 1.0)
+        return phase_ratio
+
+    def predict_part_words(
+        self, total_words: int, parts: int, receivers: Optional[int] = None
+    ) -> int:
+        """Predicted words on the hottest machine of a partitioned phase.
+
+        ``total_words`` is the phase's active edge volume; with ``parts``
+        random parts the expected same-machine volume is ``total/parts``
+        and the expected per-part share of it another factor ``parts``
+        down.  When parts are folded onto fewer physical ``receivers``
+        (round-robin), one receiver absorbs ``ceil(parts/receivers)``
+        parts.  The imbalance ratio and the policy headroom convert the
+        expectation into a defensible max.
+        """
+        if parts <= 0:
+            raise ValueError(f"parts must be positive, got {parts}")
+        per_part = total_words / (parts * parts)
+        fold = 1
+        if receivers is not None and receivers > 0:
+            fold = math.ceil(parts / receivers)
+        return int(
+            math.ceil(per_part * fold * self._ratio * self._policy.headroom)
+        )
+
+    def predict_ship_words(self, total_words: int) -> int:
+        """Predicted words of a single-destination bulk ship (no spread)."""
+        return int(math.ceil(total_words * self._policy.headroom))
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot for the governance report extras."""
+        return {
+            "ratio": float(self._ratio),
+            "observations": int(self._observations),
+        }

@@ -1,0 +1,75 @@
+"""Structured governance events — the audit trail of every intervention.
+
+Every time the governor acts (or observes load crossing the soft
+watermark) it appends one :class:`GovernanceEvent`; the façade surfaces
+the list in ``RunReport.extras["governance"]["events"]``.  Events are
+the contract the adversarial-conformance suite checks: a governed run
+that survived a budget squeeze must say *how* (sparsify / chunk /
+degrade), with the predicted and budget word counts that justified the
+intervention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+# Event kinds, in ladder order (watermark is an observation, not an
+# intervention; degrade is terminal for the MPC attempt).
+WATERMARK = "watermark"
+SPARSIFY = "sparsify"
+CHUNK = "chunk"
+DEGRADE = "degrade"
+
+EVENT_KINDS = (WATERMARK, SPARSIFY, CHUNK, DEGRADE)
+
+
+@dataclass(frozen=True)
+class GovernanceEvent:
+    """One governance observation or intervention.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    context:
+        The phase context string of the operation governed (the same
+        string the MPC substrate stamps on round charges), e.g.
+        ``"matching: phase 3 scatter"``.
+    predicted_words:
+        The load (words) the estimator predicted for the operation —
+        what *would* have landed on the hottest machine ungoverned.
+    budget_words:
+        The soft budget the prediction was compared against
+        (``watermark * words_per_machine``).
+    factor:
+        Magnitude of the intervention: machine-count multiplier for
+        ``sparsify``, chunk count for ``chunk``, 1.0 otherwise.
+    detail:
+        Human-readable description of the action taken.
+    """
+
+    kind: str
+    context: str
+    predicted_words: int
+    budget_words: int
+    factor: float = 1.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown governance event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (travels inside ``RunReport.extras``)."""
+        return {
+            "kind": self.kind,
+            "context": self.context,
+            "predicted_words": int(self.predicted_words),
+            "budget_words": int(self.budget_words),
+            "factor": float(self.factor),
+            "detail": self.detail,
+        }

@@ -1,0 +1,384 @@
+"""The governor: watches per-phase load and intervenes before a breach.
+
+The intervention ladder (GOVERNANCE.md):
+
+1. **Adaptive sparsification** (:meth:`Governor.plan_partitions`) — when
+   the estimator predicts a partitioned phase would land more than the
+   soft budget on its hottest machine, the machine count is raised
+   (doubling) before the partition is drawn, lowering the same-machine
+   co-location probability and with it both the per-machine induced
+   subgraph (``~ total/k²``) and the shipped volume (``~ total/k``).
+2. **Batched chunking** (:meth:`Governor.plan_chunks`,
+   :meth:`Governor.broadcast`) — an over-budget bulk operation is split
+   into sequential sub-batches, each within the soft budget, trading
+   rounds for memory (the round-budget audit still applies).
+3. **Graceful degradation** (:meth:`Governor.degrade`) — when neither
+   rung can save the envelope, a :class:`GovernanceDegraded` is raised;
+   the façade catches it and finishes the solve on the central/greedy
+   backend, recording the reason.
+
+When no rung fires, every call here is an exact pass-through: same
+cluster calls, same draw counts, same accounting — byte-identity with
+ungoverned runs is pinned by the parity suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+from repro.govern.estimator import PeakHoldEstimator
+from repro.govern.events import (
+    CHUNK,
+    DEGRADE,
+    SPARSIFY,
+    WATERMARK,
+    GovernanceEvent,
+)
+from repro.govern.policy import GovernancePolicy
+
+# Hard cap on recorded events: a long solve brushing the watermark every
+# phase must not grow the report without bound.  Overflow is counted.
+_MAX_EVENTS = 256
+
+
+class GovernanceDegraded(RuntimeError):
+    """The ladder ran out of rungs; the caller should fall back.
+
+    Raised by :meth:`Governor.degrade`; the façade converts it into a
+    re-solve on the central/greedy backend with ``reason`` recorded in
+    ``RunReport.extras["governance"]``.
+    """
+
+    def __init__(self, reason: str, context: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.context = context
+
+
+class Governor:
+    """Per-solve load governor bound to one MPC cluster.
+
+    Create one per ``solve()`` call (the façade does); bind it to the
+    cluster with :meth:`bind` before the first governed operation.  The
+    estimator persists across phases — and across the multiple
+    fractional-matching passes of the integral solver — so later phases
+    benefit from the imbalance the earlier ones measured.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[GovernancePolicy] = None,
+        estimator: Optional[PeakHoldEstimator] = None,
+    ) -> None:
+        self.policy = policy or GovernancePolicy()
+        self.estimator = estimator or PeakHoldEstimator(self.policy)
+        self.events: List[GovernanceEvent] = []
+        self.dropped_events = 0
+        self._soft_words: Optional[int] = None
+        self._hard_words: Optional[int] = None
+        self._receivers: Optional[int] = None
+        self._watermark_contexts: Set[str] = set()
+        self.degraded_reason: Optional[str] = None
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, cluster) -> None:
+        """Learn the cluster's budget and attach overload signals to it.
+
+        Idempotent per cluster; re-binding to a new cluster (the integral
+        solver builds one per pass) adopts the new budget.
+        """
+        self.bind_words(cluster.words_per_machine, cluster.num_machines)
+        attach = getattr(cluster, "attach_governor", None)
+        if attach is not None:
+            attach(self)
+
+    def bind_words(self, hard_words: int, receivers: int = 1) -> None:
+        """Learn a word budget directly, without a cluster.
+
+        For backends that meter memory per-run rather than through an
+        :class:`~repro.mpc.cluster.MPCCluster` (the weight-class
+        reduction drives filtering runs with a raw word cap).
+        """
+        self._hard_words = int(hard_words)
+        self._soft_words = max(1, int(self.policy.watermark * self._hard_words))
+        self._receivers = max(1, int(receivers))
+
+    @property
+    def bound(self) -> bool:
+        """Whether :meth:`bind` has run."""
+        return self._soft_words is not None
+
+    @property
+    def soft_words(self) -> int:
+        """The soft per-machine budget (``watermark * S``)."""
+        if self._soft_words is None:
+            raise RuntimeError("governor used before bind(cluster)")
+        return self._soft_words
+
+    @property
+    def triggered(self) -> bool:
+        """Whether any *intervention* (not mere watermark) fired."""
+        return any(e.kind != WATERMARK for e in self.events)
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _record(self, event: GovernanceEvent) -> None:
+        if len(self.events) >= _MAX_EVENTS:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def record_watermark(self, context: str, used: int, capacity: int) -> None:
+        """Overload signal from the substrate: load crossed the soft line.
+
+        Deduplicated per context so a hot phase signals once, not once
+        per store.
+        """
+        if context in self._watermark_contexts:
+            return
+        self._watermark_contexts.add(context)
+        self._record(
+            GovernanceEvent(
+                kind=WATERMARK,
+                context=context,
+                predicted_words=int(used),
+                budget_words=self._soft_words or int(capacity),
+                detail=f"observed {used} of {capacity} hard-cap words",
+            )
+        )
+
+    def observe_loads(self, loads, context: str = "") -> None:
+        """Feed one phase's per-machine loads to the estimator."""
+        self.estimator.observe(loads)
+        if self._soft_words is not None:
+            peak = max((int(x) for x in loads), default=0)
+            if peak > self._soft_words:
+                self.record_watermark(
+                    context, peak, self._hard_words or peak
+                )
+
+    # -- rung 1: adaptive sparsification ------------------------------------
+
+    def plan_partitions(
+        self, base_parts: int, total_words: int, context: str
+    ) -> int:
+        """Choose the partition count for a phase about to draw owners.
+
+        Returns ``base_parts`` untouched when the predicted hottest-part
+        load fits the soft budget (the byte-identity case).  Otherwise
+        doubles the part count until the prediction fits or the
+        ``max_sparsify`` ceiling is hit; if even the ceiling does not
+        save the envelope the decision falls through to chunking (the
+        scatter is wave-split) rather than degrading here, because a
+        chunked scatter can still complete the phase.
+        """
+        soft = self.soft_words
+        predicted = self.estimator.predict_part_words(
+            total_words, base_parts, self._receivers
+        )
+        if predicted <= soft or not self.policy.allow_sparsify:
+            return base_parts
+        limit = max(base_parts + 1, int(base_parts * self.policy.max_sparsify))
+        parts = base_parts
+        while parts < limit:
+            parts = min(limit, parts * 2)
+            predicted = self.estimator.predict_part_words(
+                total_words, parts, self._receivers
+            )
+            if predicted <= soft:
+                break
+        self._record(
+            GovernanceEvent(
+                kind=SPARSIFY,
+                context=context,
+                predicted_words=self.estimator.predict_part_words(
+                    total_words, base_parts, self._receivers
+                ),
+                budget_words=soft,
+                factor=parts / base_parts,
+                detail=(
+                    f"raised partition count {base_parts} -> {parts} "
+                    f"(co-location probability 1/{parts})"
+                ),
+            )
+        )
+        return parts
+
+    def grow_partitions(
+        self, base_parts: int, parts: int, observed_words: int, context: str
+    ) -> int:
+        """Reactive sparsification: a drawn partition came out too hot.
+
+        The prediction in :meth:`plan_partitions` is a mean-field
+        estimate; multinomial variance can still land one part over the
+        soft budget.  Nothing has shipped yet at that point, so the
+        caller doubles the part count and redraws.  Returns ``parts``
+        unchanged when the ``max_sparsify`` ceiling (relative to
+        ``base_parts``) is reached — the caller then falls through to
+        wave-splitting or degradation.
+        """
+        if not self.policy.allow_sparsify:
+            return parts
+        limit = max(base_parts + 1, int(base_parts * self.policy.max_sparsify))
+        if parts >= limit:
+            return parts
+        new_parts = min(limit, parts * 2)
+        self._record(
+            GovernanceEvent(
+                kind=SPARSIFY,
+                context=context,
+                predicted_words=int(observed_words),
+                budget_words=self.soft_words,
+                factor=new_parts / base_parts,
+                detail=(
+                    f"redraw: hottest induced subgraph held {observed_words} "
+                    f"words; partition count {parts} -> {new_parts}"
+                ),
+            )
+        )
+        return new_parts
+
+    # -- rung 2: batched chunking -------------------------------------------
+
+    def plan_chunks(self, words: int, context: str) -> Optional[List[int]]:
+        """Split an over-budget bulk operation into sub-batch word sizes.
+
+        Returns ``None`` when ``words`` fits the soft budget (the
+        pass-through case), else the balanced per-chunk word sizes.
+        Falls through to :meth:`degrade` when chunking is disabled or
+        the required chunk count exceeds ``max_chunks``.
+        """
+        soft = self.soft_words
+        if words <= soft:
+            return None
+        if not self.policy.allow_chunk:
+            self.degrade(
+                f"operation of {words} words exceeds soft budget {soft} "
+                "and chunking is disabled",
+                context,
+            )
+            # degrade() declined to raise (allow_degrade off): pass the
+            # operation through un-chunked so the hard cap aborts exactly
+            # as an ungoverned run would — no rung may mask the failure.
+            return None
+        count = math.ceil(words / soft)
+        if count > self.policy.max_chunks:
+            self.degrade(
+                f"operation of {words} words needs {count} chunks, "
+                f"over max_chunks={self.policy.max_chunks}",
+                context,
+            )
+            return None
+        base, rem = divmod(words, count)
+        sizes = [base + 1] * rem + [base] * (count - rem)
+        self._record(
+            GovernanceEvent(
+                kind=CHUNK,
+                context=context,
+                predicted_words=words,
+                budget_words=soft,
+                factor=float(count),
+                detail=f"split {words} words into {count} sequential sub-batches",
+            )
+        )
+        return sizes
+
+    def record_chunk(
+        self, context: str, predicted_words: int, count: int
+    ) -> None:
+        """Record a chunk intervention planned by the caller (e.g. a
+        wave-split scatter), degrading when the count exceeds the policy
+        ceiling."""
+        if count > self.policy.max_chunks:
+            self.degrade(
+                f"phase needs {count} sub-batches, over "
+                f"max_chunks={self.policy.max_chunks}",
+                context,
+            )
+        self._record(
+            GovernanceEvent(
+                kind=CHUNK,
+                context=context,
+                predicted_words=predicted_words,
+                budget_words=self.soft_words,
+                factor=float(count),
+                detail=(
+                    f"split phase into {count} sequential sub-batches "
+                    f"(hottest machine would have held {predicted_words} words)"
+                ),
+            )
+        )
+
+    def broadcast(self, cluster, words: int, context: str) -> None:
+        """Broadcast ``words``, chunked into sub-broadcasts if over budget.
+
+        Exact pass-through (one broadcast, same accounting) when the
+        payload fits the soft budget.
+        """
+        sizes = self.plan_chunks(words, context)
+        if sizes is None:
+            cluster.broadcast(words, context=context)
+            return
+        total = len(sizes)
+        for index, size in enumerate(sizes):
+            cluster.broadcast(
+                size, context=f"{context} [chunk {index + 1}/{total}]"
+            )
+
+    # -- rung 3: degradation --------------------------------------------------
+
+    def degrade(self, reason: str, context: str = "") -> None:
+        """Record a degrade event and abort the MPC attempt.
+
+        Raises :class:`GovernanceDegraded` when the policy allows
+        degradation (the façade re-solves on the fallback backend);
+        otherwise returns, leaving the hard cap to abort as before —
+        governance with every rung disabled must not mask the original
+        failure mode.
+        """
+        self._record(
+            GovernanceEvent(
+                kind=DEGRADE,
+                context=context,
+                predicted_words=0,
+                budget_words=self._soft_words or 0,
+                detail=reason,
+            )
+        )
+        self.degraded_reason = reason
+        if self.policy.allow_degrade:
+            raise GovernanceDegraded(reason, context)
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-ready governance record for ``RunReport.extras``."""
+        counts: dict = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {
+            "enabled": True,
+            "triggered": self.triggered,
+            "events": [event.to_dict() for event in self.events],
+            "counts": counts,
+            "dropped_events": self.dropped_events,
+            "estimator": self.estimator.to_dict(),
+            "policy": self.policy.to_dict(),
+        }
+
+
+def governed_broadcast(
+    cluster, words: int, context: str, governor: Optional[Governor] = None
+) -> None:
+    """Broadcast through the governor when one is attached.
+
+    The module-level helper the solver hot paths call: with no governor
+    (or a payload under the soft budget) it is exactly
+    ``cluster.broadcast`` — accounting and draw order unchanged.
+    """
+    if governor is None:
+        cluster.broadcast(words, context=context)
+    else:
+        governor.broadcast(cluster, words, context)

@@ -1,0 +1,94 @@
+"""Governance policy: the knobs of the overload ladder.
+
+See GOVERNANCE.md for the knob table and how each rung composes.  The
+façade accepts ``governance=`` as ``False`` (off), ``True`` (defaults),
+a dict of field overrides, or a :class:`GovernancePolicy` instance —
+the same loose-override convention ``config=`` uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class GovernancePolicy:
+    """Knobs of the load-governance ladder.
+
+    Attributes
+    ----------
+    watermark:
+        Soft fraction of the hard per-machine budget ``S``; the governor
+        intervenes when predicted load crosses ``watermark * S`` (the
+        hard cap itself still aborts, but a governed run should never
+        reach it).
+    headroom:
+        Safety multiplier on every estimator prediction — predictions
+        are expectations, the enforced quantity is a max.
+    max_chunks:
+        Ceiling on sub-batches a single over-budget phase may be split
+        into; beyond it the ladder falls through to degradation.
+    max_sparsify:
+        Ceiling on the machine-count multiplier adaptive sparsification
+        may apply within one phase.
+    allow_sparsify / allow_chunk / allow_degrade:
+        Rung switches; disabling every rung reduces governance to
+        watermark observation (the hard cap then aborts as before).
+    decay:
+        Peak-hold decay of the ball-size estimator's imbalance ratio per
+        observation (1.0 = never forget the worst phase).
+    prime_cap:
+        Cap on the imbalance ratio primed from degree statistics; keeps
+        a pathological skew reading from tripping governance on inputs
+        that never produce imbalanced parts.
+    """
+
+    watermark: float = 0.9
+    headroom: float = 1.15
+    max_chunks: int = 64
+    max_sparsify: float = 8.0
+    allow_sparsify: bool = True
+    allow_chunk: bool = True
+    allow_degrade: bool = True
+    decay: float = 0.95
+    prime_cap: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.watermark <= 1.0:
+            raise ValueError(f"watermark must lie in (0, 1], got {self.watermark}")
+        if self.headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {self.headroom}")
+        if self.max_chunks < 1:
+            raise ValueError(f"max_chunks must be >= 1, got {self.max_chunks}")
+        if self.max_sparsify < 1.0:
+            raise ValueError(f"max_sparsify must be >= 1, got {self.max_sparsify}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {self.decay}")
+        if self.prime_cap < 1.0:
+            raise ValueError(f"prime_cap must be >= 1, got {self.prime_cap}")
+
+    @classmethod
+    def from_any(cls, value: Any) -> Optional["GovernancePolicy"]:
+        """Normalize the façade's ``governance=`` argument.
+
+        ``False``/``None`` → ``None`` (governance off); ``True`` → the
+        default policy; a dict → field overrides; an instance → itself.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            "governance must be a bool, dict, or GovernancePolicy, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (lands in the governance report extras)."""
+        return dataclasses.asdict(self)

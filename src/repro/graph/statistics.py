@@ -6,6 +6,12 @@ power-law motivation), component structure.  This module computes them so
 experiments and examples can report *what kind* of graph a measurement
 was taken on, and so tests can assert generator families land in their
 intended regimes.
+
+The degree summaries are vectorized over the degrees array (a CSR graph
+hands one over for free via ``np.diff(indptr)``), so they are cheap
+enough for the load governor to call on every solve:
+:func:`load_summary` is the hot-path entry the governor's peak-hold
+estimator primes itself from.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, List
+
+import numpy as np
 
 from repro.graph.graph import Graph
 
@@ -34,31 +42,108 @@ class DegreeStatistics:
         return self.maximum / self.mean if self.mean else 0.0
 
 
+def _degrees_array(graph) -> np.ndarray:
+    """Degrees of ``graph`` (a :class:`Graph` or CSR graph) as int64."""
+    return np.asarray(graph.degrees(), dtype=np.int64)
+
+
 def degree_statistics(graph: Graph) -> DegreeStatistics:
-    """Compute the degree summary of ``graph`` (O(n))."""
-    degrees = graph.degrees()
-    if not degrees:
+    """Compute the degree summary of ``graph`` (vectorized, O(n))."""
+    degrees = _degrees_array(graph)
+    if degrees.size == 0:
         return DegreeStatistics(0, 0, 0.0, 0, 0.0, 0)
-    n = len(degrees)
-    mean = sum(degrees) / n
-    variance = sum((d - mean) ** 2 for d in degrees) / n
-    ordered = sorted(degrees)
+    n = degrees.size
+    mean = float(degrees.mean())
+    variance = float(np.mean((degrees - mean) ** 2))
+    ordered = np.sort(degrees)
     return DegreeStatistics(
-        minimum=ordered[0],
-        maximum=ordered[-1],
+        minimum=int(ordered[0]),
+        maximum=int(ordered[-1]),
         mean=mean,
-        median=ordered[n // 2],
+        median=int(ordered[n // 2]),
         variance=variance,
-        isolated_vertices=sum(1 for d in degrees if d == 0),
+        isolated_vertices=int(np.count_nonzero(degrees == 0)),
     )
 
 
 def degree_histogram(graph: Graph) -> Dict[int, int]:
     """Map degree value → number of vertices with that degree."""
-    histogram: Dict[int, int] = {}
-    for d in graph.degrees():
-        histogram[d] = histogram.get(d, 0) + 1
-    return histogram
+    degrees = _degrees_array(graph)
+    if degrees.size == 0:
+        return {}
+    counts = np.bincount(degrees)
+    present = np.flatnonzero(counts)
+    return {int(d): int(counts[d]) for d in present}
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """The structural figures the load governor consumes.
+
+    ``skew_ratio`` (max/mean degree) primes the peak-hold imbalance
+    estimator before the first scatter; the percentiles and the two-hop
+    ball estimate contextualize it in reports.
+    """
+
+    num_vertices: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    p50_degree: int
+    p90_degree: int
+    p99_degree: int
+    skew_ratio: float
+    estimated_ball_size: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for report extras."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "mean_degree": self.mean_degree,
+            "max_degree": self.max_degree,
+            "p50_degree": self.p50_degree,
+            "p90_degree": self.p90_degree,
+            "p99_degree": self.p99_degree,
+            "skew_ratio": self.skew_ratio,
+            "estimated_ball_size": self.estimated_ball_size,
+        }
+
+
+def load_summary(graph) -> LoadSummary:
+    """Degree-percentile / ball-size summary of a :class:`Graph` or CSR.
+
+    ``estimated_ball_size`` is the expected radius-2 ball size from a
+    uniform vertex, ``1 + d̄ + d̄ · E[d²]/E[d]`` (the second factor is the
+    friendship-paradox mean neighbor degree), capped at ``n`` — the
+    quantity a ball-growing phase would materialize per vertex.
+    """
+    degrees = _degrees_array(graph)
+    n = int(degrees.size)
+    if n == 0:
+        return LoadSummary(0, 0, 0.0, 0, 0, 0, 0, 0.0, 0.0)
+    total = float(degrees.sum())
+    mean = total / n
+    ordered = np.sort(degrees)
+    maximum = int(ordered[-1])
+    if mean > 0.0:
+        neighbor_mean = float(np.square(degrees, dtype=np.float64).sum()) / total
+        ball = min(float(n), 1.0 + mean + mean * neighbor_mean)
+        skew = maximum / mean
+    else:
+        ball = 1.0
+        skew = 0.0
+    return LoadSummary(
+        num_vertices=n,
+        num_edges=int(total) // 2,
+        mean_degree=mean,
+        max_degree=maximum,
+        p50_degree=int(ordered[n // 2]),
+        p90_degree=int(ordered[min(n - 1, (9 * n) // 10)]),
+        p99_degree=int(ordered[min(n - 1, (99 * n) // 100)]),
+        skew_ratio=skew,
+        estimated_ball_size=ball,
+    )
 
 
 def loglog_degree_bound(graph: Graph) -> float:

@@ -60,7 +60,9 @@ class MPCCluster:
         self._words_per_machine = words_per_machine
         self._rounds = 0
         self._total_comm_words = 0
+        self._peak_transient_words = 0
         self._trace = trace
+        self._governor = None
 
     # -- accessors ----------------------------------------------------------
 
@@ -90,6 +92,18 @@ class MPCCluster:
         """
         return self._total_comm_words
 
+    @property
+    def peak_transient_words(self) -> int:
+        """Hottest single-machine transient load seen in any superstep.
+
+        The largest validated inbox of any :meth:`exchange` receiver and
+        the largest :meth:`broadcast` payload — loads a machine must hold
+        for the duration of a round without necessarily :meth:`storing
+        <repro.mpc.machine.Machine.store>` them.  Solvers whose phases are
+        exchange-only (the matching family) report this as their peak.
+        """
+        return self._peak_transient_words
+
     def machine(self, machine_id: int) -> Machine:
         """The machine with id ``machine_id``."""
         if not 0 <= machine_id < len(self._machines):
@@ -105,6 +119,31 @@ class MPCCluster:
     def peak_words(self) -> int:
         """Largest peak residency across machines."""
         return max(m.peak_words for m in self._machines)
+
+    @property
+    def governor(self):
+        """The attached :class:`repro.govern.Governor`, if any."""
+        return self._governor
+
+    def attach_governor(self, governor) -> None:
+        """Wire soft-watermark overload signals to ``governor``.
+
+        Sets every machine's ``soft_limit_words`` to the governor's soft
+        budget and routes store-time overload callbacks to it.  Detach
+        with ``attach_governor(None)``.
+        """
+        self._governor = governor
+        soft = governor.soft_words if governor is not None else None
+        callback = governor.record_watermark if governor is not None else None
+        for machine in self._machines:
+            machine.soft_limit_words = soft
+            machine.on_overload = (
+                None
+                if callback is None
+                else lambda _mid, used, cap, ctx, _cb=callback: _cb(
+                    ctx, used, cap
+                )
+            )
 
     # -- round accounting -----------------------------------------------------
 
@@ -147,7 +186,16 @@ class MPCCluster:
                     receiver, words, self._words_per_machine, f"{context}: inbox"
                 )
         self._total_comm_words += sum(inbox_words.values())
+        if inbox_words:
+            self._peak_transient_words = max(
+                self._peak_transient_words, max(inbox_words.values())
+            )
         self._rounds += 1
+        if self._governor is not None and inbox_words:
+            # Post-delivery observation: per-receiver volumes feed the
+            # peak-hold estimator so the *next* phase is predicted with
+            # this phase's imbalance in hand.
+            self._governor.observe_loads(inbox_words.values(), context)
         maybe_record(
             self._trace,
             "rounds_charged",
@@ -189,8 +237,14 @@ class MPCCluster:
             raise MemoryExceededError(
                 0, words, self._words_per_machine, f"{context}: broadcast payload"
             )
+        if self._governor is not None and words > self._governor.soft_words:
+            # A broadcast that fits the hard cap but crosses the soft
+            # watermark is pressure worth recording (callers going through
+            # the governor's chunked broadcast never land here).
+            self._governor.record_watermark(context, words, self._words_per_machine)
         # One copy lands on every other machine.
         self._total_comm_words += words * max(0, self.num_machines - 1)
+        self._peak_transient_words = max(self._peak_transient_words, words)
         self._rounds += 1
         maybe_record(
             self._trace, "rounds_charged", count=1, reason=context, words=words

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.mpc.errors import MemoryExceededError
 
@@ -16,13 +16,26 @@ class Machine:
     (the quantity Lemma 3.1 / Lemma 4.7 bound).
     """
 
-    __slots__ = ("machine_id", "capacity_words", "_used_words", "_peak_words", "_store")
+    __slots__ = (
+        "machine_id",
+        "capacity_words",
+        "soft_limit_words",
+        "on_overload",
+        "_used_words",
+        "_peak_words",
+        "_store",
+    )
 
     def __init__(self, machine_id: int, capacity_words: int) -> None:
         if capacity_words <= 0:
             raise ValueError(f"capacity_words must be positive, got {capacity_words}")
         self.machine_id = machine_id
         self.capacity_words = capacity_words
+        # Soft watermark (repro.govern): a residency line *below* the hard
+        # cap.  Crossing it never raises — it fires ``on_overload`` so a
+        # governor can see pressure while there is still headroom to act.
+        self.soft_limit_words: Optional[int] = None
+        self.on_overload: Optional[Callable[[int, int, int, str], None]] = None
         self._used_words = 0
         self._peak_words = 0
         self._store: Dict[str, Any] = {}
@@ -36,6 +49,14 @@ class Machine:
     def peak_words(self) -> int:
         """Maximum words ever resident on this machine."""
         return self._peak_words
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether current residency is above the soft watermark."""
+        return (
+            self.soft_limit_words is not None
+            and self._used_words > self.soft_limit_words
+        )
 
     def store(self, key: str, value: Any, words: int, context: str = "") -> None:
         """Place ``value`` (costing ``words``) under ``key``.
@@ -54,6 +75,14 @@ class Machine:
         self._store[key] = (value, words)
         self._used_words += words
         self._peak_words = max(self._peak_words, self._used_words)
+        if (
+            self.soft_limit_words is not None
+            and self._used_words > self.soft_limit_words
+            and self.on_overload is not None
+        ):
+            self.on_overload(
+                self.machine_id, self._used_words, self.capacity_words, context
+            )
 
     def load(self, key: str) -> Any:
         """Retrieve the value stored under ``key``."""

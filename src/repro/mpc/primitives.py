@@ -85,8 +85,20 @@ def gather_edges_to_leader(
 
 
 def broadcast_vertex_set(
-    cluster: MPCCluster, vertex_set: Iterable[int], context: str = "broadcast-set"
+    cluster: MPCCluster,
+    vertex_set: Iterable[int],
+    context: str = "broadcast-set",
+    governor=None,
 ) -> None:
-    """Broadcast a vertex subset (e.g. newly found MIS vertices) to all."""
+    """Broadcast a vertex subset (e.g. newly found MIS vertices) to all.
+
+    With a :class:`repro.govern.Governor` attached, a set too large for
+    the soft watermark goes out as sequential chunked broadcasts instead
+    of tripping the hard cap (exact pass-through otherwise).
+    """
     as_list = list(vertex_set)
-    cluster.broadcast(id_words(len(as_list)), context=context)
+    words = id_words(len(as_list))
+    if governor is None:
+        cluster.broadcast(words, context=context)
+    else:
+        governor.broadcast(cluster, words, context)

@@ -12,8 +12,8 @@ Ops:
     Liveness + service config echo.
 ``open``
     Create a tenant session (``task``, ``n``, optional ``edges``,
-    ``backend``, ``seed``, ``resolve_fraction``, ``verify``) and run the
-    initial solve.  Idempotent: re-opening an existing (e.g. restored)
+    ``backend``, ``seed``, ``resolve_fraction``, ``verify``, ``budget``,
+    ``governance``) and run the initial solve.  Idempotent: re-opening an existing (e.g. restored)
     tenant returns its status with ``existing: true`` so a reconnecting
     client learns the cursor to resume from.
 ``ingest``
@@ -309,6 +309,8 @@ class ServeService:
             backend=request.get("backend", "auto"),
             seed=request.get("seed"),
             resolve_fraction=float(request.get("resolve_fraction", 0.25)),
+            budget=request.get("budget"),
+            governance=request.get("governance"),
             verify=bool(request.get("verify", False)),
             max_queue=int(request.get("max_queue", self.config.max_queue)),
             max_pending_edits=int(

@@ -35,6 +35,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
+from repro.mpc.errors import MemoryExceededError
 from repro.serve.report import TenantReport
 from repro.serve.snapshot import SNAPSHOT_SCHEMA_VERSION
 from repro.stream.driver import EpochRecord, certify_epoch
@@ -54,6 +55,17 @@ QUEUED = "queued"
 COALESCED = "coalesced"
 SHED = "shed"
 DUPLICATE = "duplicate"
+
+
+def governance_payload(value: Any) -> Optional[Dict[str, Any]]:
+    """JSON-ready form of a governance opt-in (for snapshots/configs)."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return {}
+    if isinstance(value, dict):
+        return dict(value)
+    return value.to_dict()
 
 
 def validate_tenant_name(name: str) -> str:
@@ -78,6 +90,8 @@ class TenantSession:
         backend: str = "auto",
         seed: Optional[int] = None,
         resolve_fraction: float = 0.25,
+        budget: Optional[float] = None,
+        governance: Any = None,
         verify: bool = False,
         max_queue: int = DEFAULT_MAX_QUEUE,
         max_pending_edits: int = DEFAULT_MAX_PENDING_EDITS,
@@ -92,6 +106,8 @@ class TenantSession:
         self.task = task
         self.backend = backend
         self.seed = seed
+        self.budget = budget
+        self.governance = governance
         self.verify = bool(verify)
         self.max_queue = int(max_queue)
         self.max_pending_edits = int(max_pending_edits)
@@ -101,6 +117,8 @@ class TenantSession:
             backend=backend,
             seed=seed,
             resolve_fraction=resolve_fraction,
+            budget=budget,
+            governance=governance,
         )
         self.records: List[EpochRecord] = []
         self.initial: Dict[str, Any] = {}
@@ -114,6 +132,7 @@ class TenantSession:
             "duplicates": 0,
             "snapshots": 0,
             "restores": 0,
+            "budget_breaches": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -195,6 +214,15 @@ class TenantSession:
 
         Returns ``None`` (and counts a duplicate) when ``seq`` is at or
         below the cursor — the replay-idempotence path.
+
+        A :class:`~repro.mpc.errors.MemoryExceededError` from an epoch's
+        fallback re-solve does **not** kill the session: the breach is
+        recorded as a *failed* epoch record (``verification.ok = False``
+        with a ``budget_breach`` check) and counted in
+        ``counters["budget_breaches"]``, so operators see it in
+        :meth:`status` instead of losing the tenant.  Sessions opened
+        with ``governance=`` degrade inside the solver and never land
+        here.
         """
         if (
             seq is not None
@@ -205,7 +233,34 @@ class TenantSession:
             # dedup here must compare against the *processed* cursor only.
             self.counters["duplicates"] += 1
             return None
-        stats = self.maintainer.step(batch)
+        try:
+            stats = self.maintainer.step(batch)
+        except MemoryExceededError as breach:
+            self.counters["budget_breaches"] += 1
+            record = EpochRecord(
+                stats={
+                    "epoch": self.epochs_processed + 1,
+                    "action": "breach",
+                    "n": self.maintainer.graph.num_vertices,
+                    "m": self.maintainer.graph.num_edges,
+                },
+                verification={
+                    "ok": False,
+                    "checks": [
+                        {
+                            "name": "budget_breach",
+                            "passed": False,
+                            "detail": str(breach),
+                        }
+                    ],
+                },
+            )
+            self.records.append(record)
+            if seq is not None:
+                self.processed_seq = seq
+                if self._accepted_seq is None or seq > self._accepted_seq:
+                    self._accepted_seq = seq
+            return record
         verification: Dict[str, Any] = {}
         if self.verify:
             verification = certify_epoch(
@@ -257,6 +312,8 @@ class TenantSession:
             "queue_depth": self.queue_depth,
             "pending_edits": self.pending_edits,
             "processed_seq": self.processed_seq,
+            "budget": self.budget,
+            "governed": self.governance is not None and self.governance is not False,
             "counters": dict(self.counters),
         }
 
@@ -278,6 +335,8 @@ class TenantSession:
                 "max_queue": self.max_queue,
                 "max_pending_edits": self.max_pending_edits,
                 "seed": self.seed,
+                "budget": self.budget,
+                "governance": governance_payload(self.governance),
             },
         )
 
@@ -304,6 +363,8 @@ class TenantSession:
                 "verify": self.verify,
                 "max_queue": self.max_queue,
                 "max_pending_edits": self.max_pending_edits,
+                "budget": self.budget,
+                "governance": governance_payload(self.governance),
             },
             "n": csr.num_vertices,
             "edges": [[int(u), int(v)] for u, v in csr.edge_array()],
@@ -328,6 +389,8 @@ class TenantSession:
             backend=payload.get("backend", "auto"),
             seed=payload.get("seed"),
             resolve_fraction=float(config.get("resolve_fraction", 0.25)),
+            budget=config.get("budget"),
+            governance=config.get("governance"),
             verify=bool(config.get("verify", False)),
             max_queue=int(config.get("max_queue", DEFAULT_MAX_QUEUE)),
             max_pending_edits=int(

@@ -27,6 +27,7 @@ import sys
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
+from repro.api.__main__ import _parse_governance
 from repro.graph.graph import Graph
 from repro.stream.driver import StreamReport, solve_stream
 from repro.stream.maintain import MAINTAINERS
@@ -104,6 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="damage fraction that triggers a full re-solve (default 0.25)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-machine memory budget (units of n) for fallback re-solves",
+    )
+    parser.add_argument(
+        "--governance",
+        default=None,
+        metavar="JSON",
+        help=(
+            "govern fallback re-solves (repro.govern): GovernancePolicy "
+            "fields as JSON ('{}' = defaults)"
+        ),
     )
     parser.add_argument(
         "--verify",
@@ -184,6 +200,8 @@ def run_single(args: argparse.Namespace) -> Tuple[StreamReport, int]:
         backend=args.backend,
         seed=args.seed,
         resolve_fraction=args.resolve_fraction,
+        budget=args.budget,
+        governance=_parse_governance(args.governance),
         verify=args.verify,
         differential_every=args.differential_every,
     )

@@ -280,6 +280,8 @@ def solve_stream(
     config: Any = None,
     seed: Optional[int] = None,
     resolve_fraction: float = 0.25,
+    budget: Optional[float] = None,
+    governance: Any = None,
     verify: bool = False,
     differential_every: int = 0,
     on_epoch: Optional[Callable[[EpochRecord], None]] = None,
@@ -301,6 +303,11 @@ def solve_stream(
         every damage-threshold fallback re-solve.
     resolve_fraction:
         The fallback threshold (see :class:`Maintainer`).
+    budget / governance:
+        Memory cap and :mod:`repro.govern` opt-in threaded into the
+        initial solve and every fallback re-solve; governed resolves that
+        hit the envelope surface their event trail on the epoch record
+        instead of aborting the stream (see :class:`Maintainer`).
     verify:
         Certify every epoch's solution with the repro.verify checkers
         (validity + oracle ratios on small instances).  Converts the
@@ -323,6 +330,8 @@ def solve_stream(
         config=config,
         seed=seed,
         resolve_fraction=resolve_fraction,
+        budget=budget,
+        governance=governance,
     )
     n_initial = maintainer.graph.num_vertices
     m_initial = maintainer.graph.num_edges
@@ -335,6 +344,8 @@ def solve_stream(
         "size": maintainer.size(),
         "wall_time_s": time.perf_counter() - started,
     }
+    if maintainer.last_governance and maintainer.last_governance.get("triggered"):
+        initial["governance"] = maintainer.last_governance
 
     records: List[EpochRecord] = []
     for index, batch in enumerate(batches, start=1):

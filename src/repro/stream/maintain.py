@@ -108,6 +108,13 @@ class Maintainer:
     resolve_fraction:
         Damage threshold: when the batch's damaged region exceeds this
         fraction of ``n``, repair is abandoned for a full re-solve.
+    budget / governance:
+        Threaded into every full re-solve: ``budget`` caps per-machine
+        memory (units of ``n``), ``governance`` opts the resolve into the
+        :mod:`repro.govern` ladder so a budget breach mid-stream degrades
+        gracefully instead of killing the epoch.  The last resolve's
+        governance record is kept on :attr:`last_governance` for epoch
+        reporting.
     """
 
     TASK: str = ""
@@ -121,6 +128,8 @@ class Maintainer:
         config: Any = None,
         seed: Optional[int] = None,
         resolve_fraction: float = 0.25,
+        budget: Optional[float] = None,
+        governance: Any = None,
     ) -> None:
         if not 0.0 <= resolve_fraction <= 1.0:
             raise ValueError(
@@ -137,6 +146,9 @@ class Maintainer:
         self.config = config
         self.seed = seed
         self.resolve_fraction = resolve_fraction
+        self.budget = budget
+        self.governance = governance
+        self.last_governance: Optional[Dict[str, Any]] = None
         self.epochs_repaired = 0
         self.epochs_resolved = 0
         self._steps = 0
@@ -172,6 +184,10 @@ class Maintainer:
             report = self._full_resolve()
             action = "resolve"
             extras = {"rounds": report.rounds}
+            if self.last_governance and self.last_governance.get("triggered"):
+                # Surface the resolve's governance trail on the epoch so
+                # stream logs show *which* epoch hit the memory envelope.
+                extras["governance"] = self.last_governance
             self.epochs_resolved += 1
         else:
             extras = self._repair(csr, inserted, deleted, new_vertices, damage)
@@ -205,7 +221,10 @@ class Maintainer:
             backend=self.backend,
             config=self.config,
             seed=self.seed,
+            budget=self.budget,
+            governance=self.governance,
         )
+        self.last_governance = report.extras.get("governance")
         self._grow_state(self.graph.num_vertices)
         self._adopt(self.graph.snapshot(), report.solution)
         return report

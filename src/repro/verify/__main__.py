@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.api.__main__ import _parse_governance
 from repro.verify.budgets import BudgetPolicy
 from repro.verify.differential import (
     DEFAULT_FAMILIES,
@@ -88,6 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help=(
+            "per-machine memory budget in units of n threaded into every "
+            "run (pair with a matching --memory-factor so the certificate "
+            "audits the same cap the run was given)"
+        ),
+    )
+    parser.add_argument(
+        "--governance",
+        default=None,
+        metavar="JSON",
+        help=(
+            "govern every run (repro.govern): GovernancePolicy fields as "
+            "JSON ('{}' = defaults, 'off' = disabled); with adversarial "
+            "families + a tight --budget this is the cell where ungoverned "
+            "runs abort and governed runs must still certify"
+        ),
+    )
+    parser.add_argument(
         "--jsonl", default=None, help="stream verified reports to this file"
     )
     return parser
@@ -120,6 +142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=[int(s) for s in _csv(args.seeds)],
             policy=policy,
             rng=args.rng,
+            budget=args.budget,
+            governance=_parse_governance(args.governance),
             on_report=on_report,
         )
     except ValueError as error:

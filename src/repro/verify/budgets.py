@@ -13,10 +13,11 @@ concrete budgets —
 * ``max_machine_words <= memory_factor * n^alpha`` words (via
   :func:`repro.mpc.spec.paper_memory_words`, the same derivation cluster
   sizing uses), and
-* ``total_comm_words <= comm_round_factor * rounds * S`` — per round no
-  machine ships more than its memory, so aggregate volume is bounded by
-  rounds x machines-worth-of-S; ``comm_round_factor`` caps how many
-  machines' worth per round.
+* ``total_comm_words <= comm_round_factor * rounds * max(S, input)`` —
+  per round no machine ships more than its memory ``S``, and the cluster
+  holds ``machines x S >= input`` words, so aggregate volume is bounded
+  by rounds x cluster memory; ``comm_round_factor`` is the slack
+  constant.
 
 Every audit emits a :class:`CheckResult` even when vacuous (a backend
 with no round claim, a backend that does not meter memory) so each
@@ -174,7 +175,15 @@ def audit_budgets(
             )
         )
     else:
-        comm_budget = policy.comm_round_factor * report.rounds * memory_budget
+        # Per round the whole cluster ships at most (machines x S) words,
+        # and the cluster is sized to hold the input — so machines x S is
+        # max(S, input words).  Flooring at S keeps the bound identical to
+        # the historical one whenever the input fits on few machines, and
+        # makes undersized-S runs (tight --budget, many machines) auditable
+        # instead of spuriously red.
+        input_words = 2 * report.num_edges + report.n
+        cluster_words = max(memory_budget, input_words)
+        comm_budget = policy.comm_round_factor * report.rounds * cluster_words
         checks.append(
             CheckResult(
                 name="communication_budget",

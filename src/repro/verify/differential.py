@@ -46,7 +46,13 @@ FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
         n, min(1.0, 8.0 / max(1, n)), seed=seed
     ),
     "gnp_dense": lambda n, seed: gnp_random_graph(n, 0.25, seed=seed),
+    # Adversarial memory regimes: p=0.5 makes m ~ n²/4 (every scatter is
+    # hot), attachment=8 makes hubs whose induced subgraphs concentrate
+    # on few machines.  These are the cells where undersized budgets
+    # abort ungoverned and the repro.govern ladder must save the run.
+    "gnp_dense_half": lambda n, seed: gnp_random_graph(n, 0.5, seed=seed),
     "powerlaw": lambda n, seed: barabasi_albert(max(n, 5), 3, seed=seed),
+    "powerlaw_heavy": lambda n, seed: barabasi_albert(max(n, 10), 8, seed=seed),
     "bipartite": lambda n, seed: random_bipartite_graph(
         n // 2, n - n // 2, min(1.0, 8.0 / max(1, n)), seed=seed
     ),
@@ -57,6 +63,10 @@ FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
 }
 
 DEFAULT_FAMILIES = ("gnp_sparse", "gnp_dense", "powerlaw", "grid")
+
+# The families the adversarial-conformance job sweeps under tight budgets
+# with governance enabled (see GOVERNANCE.md).
+ADVERSARIAL_FAMILIES = ("gnp_dense_half", "powerlaw_heavy")
 
 
 def attach_weights(graph: Graph, seed: int) -> WeightedGraph:
@@ -183,6 +193,8 @@ def differential_sweep(
     policy: Optional[BudgetPolicy] = None,
     epsilon: float = 0.1,
     rng: Optional[str] = None,
+    budget: Optional[float] = None,
+    governance: Any = None,
     on_report: Optional[Callable[[Any], None]] = None,
 ) -> DifferentialReport:
     """Run the full differential matrix and collect failures.
@@ -208,6 +220,15 @@ def differential_sweep(
         fast generator gets statistically validated: counter-mode MPC
         runs must still certify and must sit inside the same
         cross-backend agreement bands as the sha-pinned baselines.
+    budget:
+        Per-machine memory budget (units of ``n`` words) threaded into
+        every run.  Combined with the adversarial families this is how
+        the matrix reaches the cells where ungoverned runs abort.
+    governance:
+        Governance opt-in threaded into every run (``True``, a policy,
+        or its dict; see :func:`repro.api.solve`).  Governed runs must
+        still certify and sit inside the same agreement bands — that is
+        the whole point of auditing them here instead of byte-pinning.
     on_report:
         Optional callback per finished report (progress streaming).
     """
@@ -263,6 +284,8 @@ def differential_sweep(
                                 backend=backend,
                                 seed=seed,
                                 rng=rng,
+                                budget=budget,
+                                governance=governance,
                                 verify=policy,
                             )
                         except Exception as error:

@@ -18,6 +18,10 @@ same way everywhere:
 * :func:`dense_pair_graphs` — small graphs drawn by sampling explicit
   vertex pairs (hits duplicate-edge and near-clique shapes ``G(n, m)``
   rarely produces);
+* :func:`adversarial_graphs` — the memory-hostile regimes the governance
+  ladder exists for: dense ``G(n, 1/2)`` and heavy power-law
+  (Barabási–Albert with high attachment), where tight per-machine
+  budgets breach without intervention;
 * :func:`graphs_with_batches` — a graph plus a random
   :class:`~repro.stream.updates.EdgeBatch` sequence (inserts, deletes of
   present and absent edges, vertex growth), for the dynamic-overlay and
@@ -35,7 +39,11 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import gnm_random_graph
+from repro.graph.generators import (
+    barabasi_albert,
+    gnm_random_graph,
+    gnp_random_graph,
+)
 from repro.graph.graph import Graph
 from repro.graph.weighted import WeightedGraph
 from repro.ooc import MMapCSRGraph, save_csr
@@ -67,6 +75,24 @@ def dense_pair_graphs(draw, max_vertices: int = 24, max_edges: int = 60):
         else []
     )
     return Graph(n, edges)
+
+
+@st.composite
+def adversarial_graphs(draw, min_vertices: int = 24, max_vertices: int = 96):
+    """Graphs from the memory-hostile regimes of the governance suite.
+
+    Either dense ``G(n, 1/2)`` (quadratic edge volume: every scatter and
+    broadcast is hot) or heavy power-law (Barabási–Albert, attachment
+    drawn up to 8: hub-induced subgraphs concentrate on few machines).
+    Sizes start at ``min_vertices`` because tiny instances never stress
+    a budget — the point of the strategy is load, not shrinkability.
+    """
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    if draw(st.booleans()):
+        return gnp_random_graph(n, 0.5, seed=seed)
+    attachment = draw(st.integers(min_value=4, max_value=8))
+    return barabasi_albert(max(n, attachment + 1), attachment, seed=seed)
 
 
 @st.composite

@@ -1,0 +1,158 @@
+"""Property-based tests for the load-governance ladder (repro.govern).
+
+The contract under test, on the adversarial (dense / heavy power-law)
+graph regimes:
+
+* **Rescue**: whenever an ungoverned run under a tight budget aborts
+  with :class:`MemoryExceededError`, the same run with governance
+  enabled completes, stays valid, respects the hard memory cap, and
+  records the interventions it took.
+* **Transparency**: on runs where governance never has to intervene, the
+  governed solution is byte-identical to the ungoverned one — the
+  governor observes but does not perturb.
+
+Both are *implications*, so every drawn instance contributes to exactly
+one of them; no instance is wasted on "the budget happened to fit".
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import solve
+from repro.graph.graph import Graph
+from repro.mpc.errors import MemoryExceededError
+from tests.property.strategies import adversarial_graphs
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Tight enough to breach on the adversarial families at these sizes,
+#: high enough that a maximal solution still fits one machine.
+_BUDGET = 0.5
+
+
+def _hard_words(n: int) -> int:
+    from repro.mpc.spec import paper_memory_words
+
+    return paper_memory_words(n, memory_factor=_BUDGET)
+
+
+class TestGovernanceRescue:
+    @_SETTINGS
+    @given(graph=adversarial_graphs(), seed=st.integers(0, 100))
+    def test_mis_breach_governed(self, graph: Graph, seed: int):
+        self._check_task("mis", graph, seed)
+
+    @_SETTINGS
+    @given(graph=adversarial_graphs(), seed=st.integers(0, 100))
+    def test_fractional_breach_governed(self, graph: Graph, seed: int):
+        self._check_task("fractional_matching", graph, seed)
+
+    @_SETTINGS
+    @given(graph=adversarial_graphs(max_vertices=64), seed=st.integers(0, 100))
+    def test_matching_breach_governed(self, graph: Graph, seed: int):
+        self._check_task("matching", graph, seed)
+
+    def _check_task(self, task: str, graph: Graph, seed: int) -> None:
+        try:
+            bare = solve(task, graph, backend="mpc", seed=seed, budget=_BUDGET)
+            breached = False
+        except MemoryExceededError:
+            bare = None
+            breached = True
+
+        governed = solve(
+            task, graph, backend="mpc", seed=seed, budget=_BUDGET,
+            governance=True,
+        )
+        assert governed.valid
+        record = governed.extras["governance"]
+
+        if breached:
+            # Rescue: the ladder must have fired (or degraded, with the
+            # reason on record) and the governed peak must respect the cap.
+            assert record["triggered"] or record["degraded"]
+            if record["degraded"]:
+                assert record["degraded_to"]
+                assert record["reason"]
+            elif governed.max_machine_words > 0:
+                assert governed.max_machine_words <= _hard_words(graph.num_vertices)
+        elif not record["triggered"]:
+            # Transparency: nothing fired, so the solver ran the exact
+            # ungoverned code path — solutions must match byte-for-byte.
+            assert governed.solution == bare.solution
+            assert record["events"] == []
+            assert not record["degraded"]
+
+    @_SETTINGS
+    @given(graph=adversarial_graphs(max_vertices=64), seed=st.integers(0, 100))
+    def test_governed_certificate(self, graph: Graph, seed: int):
+        """Governed runs certify under the budget they were given."""
+        from repro.verify.budgets import BudgetPolicy
+
+        policy = BudgetPolicy(memory_factor=_BUDGET)
+        report = solve(
+            "fractional_matching", graph, backend="mpc", seed=seed,
+            budget=_BUDGET, governance=True, verify=policy,
+        )
+        assert report.verified, report.verification
+
+    @_SETTINGS
+    @given(graph=adversarial_graphs(max_vertices=64), seed=st.integers(0, 100))
+    def test_ungoverned_fails_loudly(self, graph: Graph, seed: int):
+        """A breach without governance is an exception, never bad output.
+
+        The dual of the rescue property: whatever the draw, the
+        ungoverned run either finishes with a *valid* solution or raises
+        MemoryExceededError naming the machine and the context — there
+        is no silent third outcome.
+        """
+        try:
+            report = solve(
+                "mis", graph, backend="mpc", seed=seed, budget=_BUDGET
+            )
+        except MemoryExceededError as breach:
+            assert breach.used_words > breach.capacity_words
+            assert breach.context
+        else:
+            assert report.valid
+
+
+class TestGovernedQualityBands:
+    @_SETTINGS
+    @given(graph=adversarial_graphs(max_vertices=64), seed=st.integers(0, 100))
+    def test_matching_maximality_survives_governance(
+        self, graph: Graph, seed: int
+    ):
+        """Chunked/degraded runs still produce *maximal* matchings.
+
+        Maximality is the load-bearing guarantee behind the 2-approx
+        band; if sequential sub-batches dropped it, quality would decay
+        silently under pressure — exactly what governance must not do.
+        """
+        from repro.graph.properties import is_maximal_matching
+
+        report = solve(
+            "matching", graph, backend="mpc", seed=seed, budget=_BUDGET,
+            governance=True,
+        )
+        matched = [(edge[0], edge[1]) for edge in report.solution]
+        assert is_maximal_matching(graph, matched)
+
+    @_SETTINGS
+    @given(graph=adversarial_graphs(max_vertices=48), seed=st.integers(0, 50))
+    def test_governed_mis_is_maximal_independent(
+        self, graph: Graph, seed: int
+    ):
+        from repro.graph.properties import is_maximal_independent_set
+
+        report = solve(
+            "mis", graph, backend="mpc", seed=seed, budget=_BUDGET,
+            governance=True,
+        )
+        assert is_maximal_independent_set(graph, set(report.solution))

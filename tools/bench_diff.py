@@ -8,7 +8,15 @@ cell regressed by more than a factor of ``F``.  With ``--fail-rss-over B``
 it additionally exits 1 when any current-run cell carrying
 ``peak_rss_bytes`` (the ``ooc`` suite) exceeds ``B`` bytes — the
 bounded-residency claim of OUT_OF_CORE.md, enforced as an absolute
-ceiling because RSS does not drift with machine speed.
+ceiling because RSS does not drift with machine speed.  With
+``--fail-comm-over W`` the same applies to cells carrying
+``total_comm_words`` (the ``govern`` suite): governed runs must keep
+their shipped volume under an absolute word ceiling.
+
+Runs recorded on machines with different ``environment.cpu_count`` are
+refused outright (exit 1) — the parallel suites scale with cores, so
+such a diff gates on hardware, not code.  ``--allow-env-mismatch``
+overrides for deliberate cross-machine comparisons.
 
 Because the committed baselines and a CI runner are different machines,
 absolute seconds drift; ``--normalize KEY`` divides every cell of each run
@@ -45,6 +53,10 @@ SUITE_LAYOUT: Dict[str, Tuple[Tuple[str, ...], str]] = {
     # out-of-core solve rung; cells also carry "peak_rss_bytes", gated
     # separately by --fail-rss-over — see benchmarks/perf/bench_ooc.py.
     "ooc": (("task", "family", "n"), "seconds"),
+    # governed vs ungoverned adversarial cells; mode is "governed" or
+    # "greedy"; cells also carry "total_comm_words", gated separately by
+    # --fail-comm-over — see benchmarks/perf/bench_govern.py.
+    "govern": (("task", "family", "n", "mode"), "seconds"),
 }
 
 
@@ -157,6 +169,36 @@ def diff(
     return 0
 
 
+def env_gate(
+    env_old: Dict[str, Any], env_new: Dict[str, Any], allow_mismatch: bool
+) -> int:
+    """Refuse to compare runs recorded on machines with different core counts.
+
+    A timing "regression" whose two columns came from hosts with
+    different parallelism is not a measurement — the parallel suites
+    (dist, serve) scale with cores, so the diff would gate on hardware,
+    not code.  ``--allow-env-mismatch`` overrides for deliberate
+    cross-machine comparisons (the table is still printed either way).
+    Runs that never recorded ``cpu_count`` are not failed: absence is a
+    legacy-baseline artifact, not evidence of a mismatch.
+    """
+    old_cpus = env_old.get("cpu_count")
+    new_cpus = env_new.get("cpu_count")
+    if old_cpus is None or new_cpus is None or old_cpus == new_cpus:
+        return 0
+    message = (
+        f"ENVIRONMENT MISMATCH: baseline cpu_count={old_cpus} vs "
+        f"current cpu_count={new_cpus}"
+    )
+    if allow_mismatch:
+        print(f"{message} (continuing: --allow-env-mismatch)")
+        return 0
+    print(f"{message}; timings are not comparable across different "
+          "machines — rerun on matching hardware or pass "
+          "--allow-env-mismatch")
+    return 1
+
+
 def rss_gate(payload: Dict[str, Any], fail_rss_over: int) -> int:
     """Gate the current run's ``peak_rss_bytes`` cells against a ceiling.
 
@@ -194,6 +236,45 @@ def rss_gate(payload: Dict[str, Any], fail_rss_over: int) -> int:
             print("  " + line)
         return 1
     print(f"rss check OK: {seen} cells within {fail_rss_over} bytes")
+    return 0
+
+
+def comm_gate(payload: Dict[str, Any], fail_comm_over: int) -> int:
+    """Gate the current run's ``total_comm_words`` cells against a ceiling.
+
+    Mirrors :func:`rss_gate`: communication volume is a property of the
+    algorithm + input, not machine speed, so an absolute word ceiling
+    transfers between hosts.  Guards the governance suite's claim that
+    the intervention ladder bounds shipped volume; a run with no
+    comm-carrying cells fails loudly rather than passing vacuously.
+    """
+    fields, _ = layout_for(payload)
+    failures: List[str] = []
+    seen = 0
+    for entry in payload["results"]:
+        comm = entry.get("total_comm_words")
+        if comm is None:
+            continue
+        seen += 1
+        key = "/".join(str(entry[field]) for field in fields)
+        comm = int(comm)
+        print(
+            f"comm {key}: {comm:>12} words (limit {fail_comm_over} words)"
+        )
+        if comm > fail_comm_over:
+            failures.append(
+                f"{key}: total_comm_words {comm} exceeds --fail-comm-over "
+                f"{fail_comm_over}"
+            )
+    if seen == 0:
+        print("COMM GATE: no cell in the current run carries total_comm_words")
+        return 1
+    if failures:
+        print(f"\nCOMM REGRESSION (> {fail_comm_over} words):")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(f"comm check OK: {seen} cells within {fail_comm_over} words")
     return 0
 
 
@@ -235,6 +316,22 @@ def main(argv=None) -> int:
         "machine speed the way seconds do)",
     )
     parser.add_argument(
+        "--fail-comm-over",
+        type=int,
+        default=None,
+        metavar="WORDS",
+        help="exit 1 when any current-run cell carrying total_comm_words "
+        "exceeds WORDS (absolute ceiling — communication volume does not "
+        "scale with machine speed)",
+    )
+    parser.add_argument(
+        "--allow-env-mismatch",
+        action="store_true",
+        help="proceed even when baseline and current were recorded on "
+        "machines with different cpu_count (otherwise a mismatch is a "
+        "hard failure)",
+    )
+    parser.add_argument(
         "--min-seconds",
         type=float,
         default=0.05,
@@ -248,21 +345,31 @@ def main(argv=None) -> int:
     if layout_for(baseline) != layout_for(current):
         raise SystemExit("the two files are from different suites")
     _, time_field = layout_for(baseline)
-    status = diff(
-        cells(baseline),
-        cells(current),
-        args.fail_over,
-        args.normalize,
-        args.min_seconds,
-        tuple(args.require_cells),
-        unit=_unit(time_field),
-        environments=(
-            baseline.get("environment", {}),
-            current.get("environment", {}),
+    status = env_gate(
+        baseline.get("environment", {}),
+        current.get("environment", {}),
+        args.allow_env_mismatch,
+    )
+    status = max(
+        status,
+        diff(
+            cells(baseline),
+            cells(current),
+            args.fail_over,
+            args.normalize,
+            args.min_seconds,
+            tuple(args.require_cells),
+            unit=_unit(time_field),
+            environments=(
+                baseline.get("environment", {}),
+                current.get("environment", {}),
+            ),
         ),
     )
     if args.fail_rss_over is not None:
         status = max(status, rss_gate(current, args.fail_rss_over))
+    if args.fail_comm_over is not None:
+        status = max(status, comm_gate(current, args.fail_comm_over))
     return status
 
 
